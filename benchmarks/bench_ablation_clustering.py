@@ -1,0 +1,41 @@
+"""Ablation: linkage criterion and distance metric for the one-shot HC.
+
+DESIGN.md calls out the HC substrate as load-bearing; this bench checks the
+design choice (average linkage + Euclidean distance, paper §3.4/Eq. 3) is
+robust: every linkage recovers the ground-truth groups on final-layer
+weights, and the choice costs nothing relative to alternatives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from bench_ablation_weights import train_local_models
+from conftest import run_once
+from repro.clustering import LINKAGES, adjusted_rand_index, agglomerative, proximity_matrix
+
+
+def test_linkage_metric_ablation(benchmark, save_artifact):
+    _, vectors, groups = run_once(benchmark, train_local_models)
+    finals = np.stack(vectors["final"])
+
+    rows = []
+    results = {}
+    for metric in ("euclidean", "cosine"):
+        mat = proximity_matrix(finals, metric)
+        for linkage in LINKAGES:
+            labels = agglomerative(mat, linkage).cut_k(2)
+            ari = adjusted_rand_index(groups, labels)
+            results[(metric, linkage)] = ari
+            rows.append(f"{metric:>10}  {linkage:>8}  {ari:>6.3f}")
+    save_artifact(
+        "ablation_clustering",
+        "Linkage/metric ablation on final-layer weights (ARI vs groups)\n"
+        + f"{'metric':>10}  {'linkage':>8}  {'ARI':>6}\n" + "\n".join(rows),
+    )
+
+    # The paper's configuration is perfect on this workload...
+    assert results[("euclidean", "average")] == 1.0
+    # ...and the signal is strong enough that most configurations agree.
+    perfect = sum(1 for v in results.values() if v == 1.0)
+    assert perfect >= 6, results

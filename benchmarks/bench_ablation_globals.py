@@ -1,0 +1,39 @@
+"""Ablation: the full global-model family vs FedClust under label skew.
+
+Extends the paper's Tables with the two related-work methods it discusses
+but does not tabulate (SCAFFOLD, FedDyn).  Claim under test: drift
+correction and dynamic regularization mitigate — but do not remove — the
+penalty of forcing one global model onto label-skewed clients, so the
+entire global family stays far below one-shot clustering.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments import BENCH_SCALE, format_accuracy_table, table_accuracy
+
+GLOBAL_FAMILY = ["fedavg", "fedprox", "fednova", "scaffold", "feddyn"]
+
+
+def test_global_family_vs_fedclust(benchmark, save_artifact):
+    tab = run_once(
+        benchmark,
+        lambda: table_accuracy(
+            "label_skew_20",
+            BENCH_SCALE,
+            datasets=["cifar10"],
+            methods=GLOBAL_FAMILY + ["fedclust"],
+            seeds=(0,),
+        ),
+    )
+    save_artifact(
+        "ablation_globals",
+        format_accuracy_table(
+            tab, "Ablation — global-model family vs FedClust, label skew 20%"
+        ),
+    )
+    cells = tab["cells"]
+    fedclust = cells["fedclust"]["cifar10"][0]
+    for method in GLOBAL_FAMILY:
+        acc = cells[method]["cifar10"][0]
+        assert fedclust > acc + 3.0, (method, acc, fedclust)

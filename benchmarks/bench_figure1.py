@@ -1,0 +1,39 @@
+"""Figure 1: per-layer distance matrices reveal (or hide) client groups.
+
+Paper claim: distance matrices built from early conv-layer weights do not
+expose the two client groups; the final (classifier) layer's matrix shows
+them clearly.  We assert the quantitative form: block contrast and
+cluster-recovery ARI increase from layer 1 to layer 16.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import run_once
+from repro.experiments import figure1, format_figure1
+
+
+def test_figure1_layer_study(benchmark, save_artifact):
+    result = run_once(
+        benchmark,
+        lambda: figure1(local_epochs=2, n_samples=600, image_size=8, seed=0),
+    )
+    save_artifact("figure1", format_figure1(result, "Figure 1 — layer-wise distance matrices"))
+
+    layers = result["layers"]
+    conv1, conv7, fc14, fc16 = layers[0], layers[6], layers[13], layers[15]
+    # Both fully connected layers expose the group structure perfectly...
+    assert fc14["ari_vs_groups"] == 1.0
+    assert fc16["ari_vs_groups"] == 1.0
+    assert fc16["contrast"] > 1.5
+    # ...and far more sharply than either convolutional layer (Fig. 1a/1b
+    # show no visible block structure; 1c/1d do).
+    for conv in (conv1, conv7):
+        assert fc16["contrast"] > conv["contrast"] * 1.3, (fc16, conv)
+        assert fc14["contrast"] > conv["contrast"], (fc14, conv)
+    assert conv7["ari_vs_groups"] < 1.0
+    # Distance matrices are valid proximity matrices.
+    for info in layers.values():
+        m = info["distance_matrix"]
+        assert np.allclose(m, m.T) and np.allclose(np.diag(m), 0.0)

@@ -1,0 +1,40 @@
+"""Figure 3: accuracy versus communication rounds (label skew 20%).
+
+Paper shape: FedClust converges fastest (its one-shot clustering means the
+very first rounds already train specialized cluster models); PACFL/IFCA are
+the closest competitors; CFL is worst since it needs many rounds before any
+split happens.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import run_once
+from repro.experiments import BENCH_SCALE, figure3, format_curves
+
+DATASETS = ["cifar10", "cifar100", "fmnist", "svhn"]
+SCALE = BENCH_SCALE.scaled(rounds=10)
+
+
+def test_figure3_convergence(benchmark, save_artifact):
+    fig = run_once(
+        benchmark,
+        lambda: figure3("label_skew_20", SCALE, datasets=DATASETS, seeds=(0,)),
+    )
+    text = "\n\n".join(format_curves(fig, ds, every=2) for ds in DATASETS)
+    save_artifact("figure3", text)
+
+    for ds in DATASETS:
+        curves = fig["curves"][ds]
+        fedclust = curves["fedclust"]["accuracy_mean"]
+        cfl = curves["cfl"]["accuracy_mean"]
+        # FedClust's area-under-curve beats CFL's (faster convergence)...
+        assert fedclust.mean() > cfl.mean(), ds
+        # ...and its final accuracy is in the top tier.
+        finals = {m: curves[m]["accuracy_mean"][-1] for m in curves}
+        assert finals["fedclust"] >= max(finals.values()) - 6.0, (ds, finals)
+        # Early advantage: by the halfway round FedClust is within 5 points
+        # of its own final accuracy (one-shot clustering converges early).
+        half = len(fedclust) // 2
+        assert fedclust[half] >= fedclust[-1] - 8.0, ds

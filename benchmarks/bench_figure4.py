@@ -1,0 +1,38 @@
+"""Figure 4: accuracy and cluster count versus clustering threshold λ.
+
+Paper shape: λ monotonically controls the generalization↔personalization
+trade-off — cluster count decreases as λ grows, the extremes degenerate to
+Local (every client its own cluster) and FedAvg (one cluster), and the best
+accuracy sits at an intermediate cluster count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import run_once
+from repro.experiments import BENCH_SCALE, figure4, format_figure4
+
+DATASETS = ["cifar10", "fmnist", "svhn", "cifar100"]
+
+
+def test_figure4_lambda_tradeoff(benchmark, save_artifact):
+    def run_all():
+        return {ds: figure4(ds, "label_skew_20", BENCH_SCALE, num_lambdas=6) for ds in DATASETS}
+
+    results = run_once(benchmark, run_all)
+    text = "\n\n".join(format_figure4(results[ds]) for ds in DATASETS)
+    save_artifact("figure4", text)
+
+    for ds in DATASETS:
+        res = results[ds]
+        lams, ks = res["lambda"], res["num_clusters"]
+        # λ is swept in increasing order; cluster count must be non-increasing.
+        assert (np.diff(lams) > 0).all()
+        assert (np.diff(ks) <= 0).all(), (ds, ks)
+        # Extremes: full personalization at λ=0, full globalization at λ_max.
+        assert ks[0] == BENCH_SCALE.num_clients
+        assert ks[-1] == 1
+        # An intermediate clustering is at least as good as pure FedAvg
+        # (the right side of the paper's curves falls off).
+        assert res["accuracy"][1:-1].max() >= res["accuracy"][-1], ds

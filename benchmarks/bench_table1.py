@@ -1,0 +1,34 @@
+"""Table 1: final average local test accuracy, non-IID label skew 20%.
+
+Paper shape: FedClust is best on every dataset; the clustered/personalized
+family (FedClust, PACFL, IFCA, LG, PerFedAvg, Local) beats the global family
+(FedAvg, FedProx, FedNova) by a wide margin under label skew.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments import BENCH_SCALE, format_accuracy_table, table_accuracy
+
+DATASETS = ["cifar10", "cifar100", "fmnist", "svhn"]
+GLOBAL = ["fedavg", "fedprox", "fednova"]
+
+
+def test_table1_label_skew_20(benchmark, save_artifact):
+    tab = run_once(
+        benchmark,
+        lambda: table_accuracy("label_skew_20", BENCH_SCALE, datasets=DATASETS, seeds=(0,)),
+    )
+    save_artifact(
+        "table1",
+        format_accuracy_table(tab, "Table 1 — accuracy (%), non-IID label skew 20%"),
+    )
+    cells = tab["cells"]
+    for ds in DATASETS:
+        fedclust = cells["fedclust"][ds][0]
+        best_global = max(cells[m][ds][0] for m in GLOBAL)
+        # FedClust beats every global baseline by a clear margin.
+        assert fedclust > best_global + 3.0, (ds, fedclust, best_global)
+        # FedClust is at or near the top of the whole table (within 5 pts).
+        best_any = max(cells[m][ds][0] for m in cells)
+        assert fedclust >= best_any - 5.0, (ds, fedclust, best_any)

@@ -1,0 +1,31 @@
+"""Table 2: final average local test accuracy, non-IID label skew 30%.
+
+Paper shape: same ordering as Table 1 with smaller margins (more labels per
+client = milder skew); Local degrades relative to the 20% setting.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.experiments import BENCH_SCALE, format_accuracy_table, table_accuracy
+
+DATASETS = ["cifar10", "cifar100", "fmnist", "svhn"]
+GLOBAL = ["fedavg", "fedprox", "fednova"]
+
+
+def test_table2_label_skew_30(benchmark, save_artifact):
+    tab = run_once(
+        benchmark,
+        lambda: table_accuracy("label_skew_30", BENCH_SCALE, datasets=DATASETS, seeds=(0,)),
+    )
+    save_artifact(
+        "table2",
+        format_accuracy_table(tab, "Table 2 — accuracy (%), non-IID label skew 30%"),
+    )
+    cells = tab["cells"]
+    for ds in DATASETS:
+        fedclust = cells["fedclust"][ds][0]
+        best_global = max(cells[m][ds][0] for m in GLOBAL)
+        assert fedclust > best_global, (ds, fedclust, best_global)
+        best_any = max(cells[m][ds][0] for m in cells)
+        assert fedclust >= best_any - 6.0, (ds, fedclust, best_any)

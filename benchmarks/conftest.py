@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper at ``BENCH_SCALE``
+(documented in DESIGN.md/EXPERIMENTS.md), renders it in the paper's row
+format, saves the artifact under ``benchmarks/out/``, and asserts the
+qualitative *shape* of the paper's result (who wins, roughly by how much) —
+not absolute numbers, since the substrate is a synthetic simulator.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def save_artifact(artifact_dir):
+    def _save(name: str, text: str) -> None:
+        path = artifact_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,64 @@
+"""Heterogeneity study: when does clustering beat one global model?
+
+Sweeps the three data regimes the paper evaluates (IID, label skew,
+Dirichlet skew) and compares one representative of each family:
+
+* FedAvg      — one global model (wins when data is IID);
+* Local       — pure personalization (wins when skew is extreme and local
+                data suffices);
+* FedClust    — weight-driven clustering (tracks the better of the two and
+                wins in between).
+
+This reproduces the paper's motivating argument (§1, §3.2) as a runnable
+script.
+
+Run:  python examples/heterogeneity_study.py
+"""
+
+from __future__ import annotations
+
+from repro import FLConfig, build_algorithm, build_federated_dataset, lenet5, make_dataset
+
+REGIMES = [
+    ("iid", {}),
+    ("label_skew", {"frac_labels": 0.5}),
+    ("label_skew", {"frac_labels": 0.2}),
+    ("dirichlet", {"alpha": 0.1}),
+]
+METHODS = ["fedavg", "local", "fedclust"]
+
+
+def main() -> None:
+    dataset = make_dataset("cifar10", seed=0, n_samples=1000, size=8)
+    cfg = FLConfig(
+        rounds=8, sample_rate=0.3, local_epochs=2, batch_size=10,
+        lr=0.05, momentum=0.5, eval_every=8,
+    ).with_extra(lam="auto")
+
+    print(f"{'regime':<24} {'het.':>5}  " + "  ".join(f"{m:>9}" for m in METHODS))
+    for scheme, params in REGIMES:
+        fed = build_federated_dataset(
+            dataset, scheme, num_clients=20, rng=0, **params
+        )
+
+        def model_fn(rng):
+            return lenet5(fed.num_classes, fed.input_shape, width=0.25, rng=rng)
+
+        row = []
+        for method in METHODS:
+            history = build_algorithm(method, fed, model_fn, cfg, seed=0).run()
+            row.append(f"{100 * history.final_accuracy():>8.1f}%")
+        label = scheme + (f"({list(params.values())[0]})" if params else "")
+        print(f"{label:<24} {fed.heterogeneity():>5.2f}  " + "  ".join(row))
+
+    print(
+        "\nReading: under IID, FedAvg leads — clustering needlessly splits\n"
+        "the data, so FedClust cedes a few points (this is the left side of\n"
+        "the paper's Fig.-4 trade-off).  As skew grows, FedAvg collapses\n"
+        "while FedClust groups compatible clients and dominates both\n"
+        "baselines."
+    )
+
+
+if __name__ == "__main__":
+    main()

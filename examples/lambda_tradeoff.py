@@ -1,0 +1,75 @@
+"""The generalization <-> personalization dial (paper Fig. 4).
+
+FedClust's clustering threshold λ interpolates between two familiar
+baselines: λ=0 puts every client in its own cluster (Local training) and
+λ=∞ puts everyone together (FedAvg).  The sweet spot depends on the data:
+this script builds a federation with two latent client groups and *scarce*
+per-client data, so pure personalization underfits, pure globalization
+suffers client drift, and the true 2-cluster structure wins — the paper's
+finding that "all clients benefit from some level of globalization".
+
+Run:  python examples/lambda_tradeoff.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import FedClust, FLConfig, lenet5, make_dataset
+from repro.data import grouped_label_partition
+
+
+def main() -> None:
+    # Two latent groups x 6 clients, only ~25 training samples per client:
+    # too little to learn alone, plenty when pooled within the right group.
+    dataset = make_dataset("cifar10", seed=0, n_samples=400, size=8)
+    fed = grouped_label_partition(
+        dataset, [[0, 1, 2, 3, 4], [5, 6, 7, 8, 9]], clients_per_group=6, rng=0
+    )
+
+    def model_fn(rng):
+        return lenet5(fed.num_classes, fed.input_shape, width=0.25, rng=rng)
+
+    cfg = FLConfig(
+        rounds=6, sample_rate=0.5, local_epochs=2, batch_size=10,
+        lr=0.05, momentum=0.5, eval_every=6,
+    )
+
+    # Probe round 0 once to get the dendrogram, then sweep λ across its
+    # merge heights (every λ between two heights gives a distinct k).
+    probe = FedClust(fed, model_fn, cfg.with_extra(lam=0.0), seed=0)
+    probe.setup()
+    heights = np.sort(probe.dendrogram.heights())
+    grid = [0.0] + [float((a + b) / 2) for a, b in zip(heights, heights[1:])]
+    grid.append(float(heights[-1] * 1.1))
+    grid = grid[:: max(1, len(grid) // 7)] + [grid[-1]]
+
+    rows = []
+    for lam in dict.fromkeys(grid):  # dedupe, keep order
+        algo = FedClust(fed, model_fn, cfg.with_extra(lam=lam), seed=0)
+        history = algo.run()
+        rows.append((lam, algo.num_clusters, 100 * history.final_accuracy()))
+
+    accs = np.array([r[2] for r in rows])
+    lo, hi = accs.min(), accs.max()
+    print(f"λ sweep: 2 latent groups, {fed.num_clients} clients, "
+          f"~{fed[0].n_train} train samples each\n")
+    print(f"{'lambda':>9}  {'#clusters':>9}  {'accuracy':>8}")
+    for lam, k, acc in rows:
+        bar = "#" * int(1 + 30 * (acc - lo) / max(hi - lo, 1e-9))
+        note = ""
+        if k == fed.num_clients:
+            note = "  <- pure personalization (Local)"
+        elif k == 1:
+            note = "  <- pure globalization (FedAvg)"
+        elif k == 2:
+            note = "  <- true latent structure"
+        print(f"{lam:>9.3f}  {k:>9d}  {acc:>7.1f}%  {bar}{note}")
+
+    best = int(np.argmax(accs))
+    print(f"\nbest: {rows[best][2]:.1f}% at λ={rows[best][0]:.3f} "
+          f"({rows[best][1]} clusters)")
+
+
+if __name__ == "__main__":
+    main()

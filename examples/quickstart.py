@@ -1,0 +1,53 @@
+"""Quickstart: run FedClust on a non-IID federation and inspect the result.
+
+Builds a synthetic CIFAR-10 stand-in, partitions it across 20 clients with
+20% label skew (each client sees ~2 of the 10 classes), runs FedClust with
+the data-driven λ, and prints the accuracy curve, the discovered clusters,
+and the communication bill — alongside a FedAvg run for contrast.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import FedAvg, FedClust, FLConfig, build_federated_dataset, lenet5, make_dataset
+
+
+def main() -> None:
+    # 1. Data: synthetic CIFAR-10 (offline stand-in), 20 clients, label skew.
+    dataset = make_dataset("cifar10", seed=0, n_samples=1000, size=8)
+    fed = build_federated_dataset(
+        dataset, "label_skew", num_clients=20, frac_labels=0.2, rng=0
+    )
+    print(f"federation: {fed.num_clients} clients, heterogeneity index "
+          f"{fed.heterogeneity():.2f} (0 = IID, 2 = disjoint)")
+
+    # 2. Model + federation config (paper defaults, scaled to CPU).
+    def model_fn(rng):
+        return lenet5(fed.num_classes, fed.input_shape, width=0.25, rng=rng)
+
+    cfg = FLConfig(
+        rounds=8, sample_rate=0.3, local_epochs=2, batch_size=10,
+        lr=0.05, momentum=0.5, eval_every=2,
+    ).with_extra(lam="auto")  # λ chosen by the largest dendrogram gap
+
+    # 3. Run FedClust.
+    algo = FedClust(fed, model_fn, cfg, seed=0)
+    history = algo.run()
+    print(f"\nFedClust formed {algo.num_clusters} clusters "
+          f"(sizes {algo.cluster_sizes().tolist()}) in one round")
+    for r, acc in zip(history.rounds, history.accuracies):
+        print(f"  round {r:>2}: avg local test accuracy {100 * acc:.1f}%")
+    print(f"  total communication: {algo.comm.total_mb():.2f} Mb")
+
+    # 4. Contrast with FedAvg on the identical federation.
+    fedavg = FedAvg(fed, model_fn, cfg, seed=0)
+    h2 = fedavg.run()
+    print(f"\nFedAvg  final accuracy: {100 * h2.final_accuracy():.1f}%  "
+          f"({fedavg.comm.total_mb():.2f} Mb)")
+    print(f"FedClust final accuracy: {100 * history.final_accuracy():.1f}%  "
+          f"({algo.comm.total_mb():.2f} Mb)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Baseline federated-learning algorithms and the algorithm registry."""
+
+from repro.algorithms.cfl import CFL
+from repro.algorithms.clustered import ClusteredAlgorithm
+from repro.algorithms.extensions import FedDyn, Scaffold
+from repro.algorithms.global_baselines import FedAvg, FedNova, FedProx
+from repro.algorithms.ifca import IFCA
+from repro.algorithms.lg_fedavg import LGFedAvg
+from repro.algorithms.local import Local
+from repro.algorithms.pacfl import PACFL
+from repro.algorithms.perfedavg import PerFedAvg
+
+
+def _registry():
+    from repro.core.fedclust import FedClust
+
+    algos = [
+        Local, FedAvg, FedProx, FedNova, LGFedAvg, PerFedAvg,
+        CFL, IFCA, PACFL, FedClust, Scaffold, FedDyn,
+    ]
+    return {a.name: a for a in algos}
+
+
+ALGORITHMS = _registry()
+
+
+def build_algorithm(name: str, fed, model_fn, config, seed: int = 0):
+    """Instantiate a registered algorithm by name."""
+    try:
+        cls = ALGORITHMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; available: {sorted(ALGORITHMS)}"
+        ) from None
+    return cls(fed, model_fn, config, seed=seed)
+
+
+__all__ = [
+    "Local",
+    "FedAvg",
+    "FedProx",
+    "FedNova",
+    "LGFedAvg",
+    "PerFedAvg",
+    "CFL",
+    "IFCA",
+    "PACFL",
+    "Scaffold",
+    "FedDyn",
+    "ClusteredAlgorithm",
+    "ALGORITHMS",
+    "build_algorithm",
+]

@@ -1,0 +1,72 @@
+"""CFL (Sattler et al., 2020): iterative cosine-similarity bipartitioning.
+
+All clients start in one cluster.  When a cluster's training becomes
+stationary — mean client-update norm below ε₁ while some client still moves
+more than ε₂ — the server splits it in two by complete-linkage clustering of
+the cached client update directions under the cosine metric.  This is the
+baseline the paper criticizes for needing many rounds to stabilize clusters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.clustered import ClusteredAlgorithm
+from repro.clustering.distance import proximity_matrix
+from repro.clustering.hierarchical import agglomerative
+from repro.fl.server import ClientUpdate
+
+__all__ = ["CFL"]
+
+
+class CFL(ClusteredAlgorithm):
+    """Sattler et al.'s clustered FL: split a cluster in two when its
+    training stalls while clients still disagree (see module docstring)."""
+
+    name = "cfl"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        # Paper §5.1: eps1 = 0.4, eps2 = 0.6.
+        self.eps1 = float(self.config.extra.get("eps1", 0.4))
+        self.eps2 = float(self.config.extra.get("eps2", 0.6))
+        self.min_cluster_size = int(self.config.extra.get("min_cluster_size", 2))
+
+    def setup(self) -> None:
+        self.init_clusters(np.zeros(self.fed.num_clients, dtype=np.int64))
+        # latest update direction per client (None until first participation)
+        self._deltas: list[np.ndarray | None] = [None] * self.fed.num_clients
+
+    def aggregate(self, round_idx: int, updates: list[ClientUpdate]) -> None:
+        for u in updates:
+            gid = int(self.cluster_of[u.client_id])
+            self._deltas[u.client_id] = u.params - self.cluster_params[gid]
+        super().aggregate(round_idx, updates)
+        self._maybe_split()
+
+    def _maybe_split(self) -> None:
+        for gid in range(self.num_clusters):
+            members = np.flatnonzero(self.cluster_of == gid)
+            known = [c for c in members if self._deltas[c] is not None]
+            if len(known) < 2 * self.min_cluster_size:
+                continue
+            deltas = np.stack([self._deltas[c] for c in known])
+            norms = np.linalg.norm(deltas, axis=1)
+            mean_norm = float(np.linalg.norm(deltas.mean(axis=0)))
+            max_norm = float(norms.max())
+            if not (mean_norm < self.eps1 and max_norm > self.eps2):
+                continue
+            # Bipartition the stationary cluster by cosine distance.
+            d = proximity_matrix(deltas, metric="cosine")
+            labels = agglomerative(d, linkage="complete").cut_k(2)
+            if min((labels == 0).sum(), (labels == 1).sum()) < self.min_cluster_size:
+                continue
+            new_gid = self.num_clusters
+            for c, lab in zip(known, labels):
+                if lab == 1:
+                    self.cluster_of[c] = new_gid
+            self.num_clusters += 1
+            self.cluster_params.append(self.cluster_params[gid].copy())
+            self.cluster_states.append(
+                {k: v.copy() for k, v in self.cluster_states[gid].items()}
+            )

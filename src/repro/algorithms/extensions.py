@@ -1,0 +1,178 @@
+"""Extension baselines: SCAFFOLD and FedDyn.
+
+The paper's related-work section (§2.1) discusses two further global-model
+methods for non-IID data that its tables do not include: SCAFFOLD
+(Karimireddy et al., 2020 — control variates that cancel client drift) and
+FedDyn (Acar et al., 2021 — a dynamic regularizer aligning local and global
+stationary points).  They are implemented here as optional baselines so the
+heterogeneity benches can ablate against the full global-method family.
+
+Both need per-step gradient corrections, so they run their own minibatch
+loops over flat parameter vectors instead of the engine's ``local_sgd``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.global_baselines import FedAvg
+from repro.fl.server import ClientUpdate
+from repro.fl.training import minibatches
+from repro.nn.losses import softmax_cross_entropy
+from repro.nn.serialization import flatten_grads, unflatten_params
+
+__all__ = ["Scaffold", "FedDyn"]
+
+
+class Scaffold(FedAvg):
+    """SCAFFOLD: stochastic controlled averaging.
+
+    Every client step is corrected by ``c - c_i`` (server minus client
+    control variate), cancelling the drift a client's skewed data induces.
+    Clients and server exchange both model and control deltas, so each
+    round costs twice FedAvg's bytes in both directions — faithfully
+    metered.
+    """
+
+    name = "scaffold"
+
+    def setup(self) -> None:
+        super().setup()
+        dim = self.global_params.size
+        self.c_global = np.zeros(dim)
+        self.c_client = [np.zeros(dim) for _ in range(self.fed.num_clients)]
+
+    def _grad(self, x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, float]:
+        self.model.zero_grad()
+        logits = self.model.forward(x, train=True)
+        loss, dlogits = softmax_cross_entropy(logits, y)
+        self.model.backward(dlogits)
+        return flatten_grads(self.model), loss
+
+    def client_update(self, client_id: int, round_idx: int) -> ClientUpdate:
+        cfg = self.config
+        client = self.fed[client_id]
+        x_global = self.global_params
+        params = x_global.copy()
+        unflatten_params(self.model, params)
+        if self.global_state:
+            self.model.load_state(self.global_state)
+        correction = self.c_global - self.c_client[client_id]
+        rng = self.rngs.make(f"client{client_id}.train", round_idx)
+        total_loss, steps = 0.0, 0
+        for _ in range(cfg.local_epochs):
+            for batch in minibatches(client.n_train, cfg.batch_size, rng):
+                unflatten_params(self.model, params)
+                g, loss = self._grad(client.train_x[batch], client.train_y[batch])
+                params -= cfg.lr * (g + correction)
+                total_loss += loss
+                steps += 1
+        # Option II control update: c_i+ = c_i - c + (x - y_i) / (K * lr)
+        c_new = (
+            self.c_client[client_id]
+            - self.c_global
+            + (x_global - params) / (max(steps, 1) * cfg.lr)
+        )
+        delta_c = c_new - self.c_client[client_id]
+        self.c_client[client_id] = c_new
+        unflatten_params(self.model, params)
+        return ClientUpdate(
+            client_id=client_id,
+            params=params,
+            n_samples=client.n_train,
+            steps=steps,
+            loss=total_loss / max(steps, 1),
+            state={k: v.copy() for k, v in self.model.state().items()},
+            extras={"delta_c": delta_c},
+        )
+
+    def aggregate(self, round_idx: int, updates: list[ClientUpdate]) -> None:
+        if not updates:
+            return
+        super().aggregate(round_idx, updates)
+        frac = len(updates) / self.fed.num_clients
+        mean_delta_c = np.mean([u.extras["delta_c"] for u in updates], axis=0)
+        self.c_global = self.c_global + frac * mean_delta_c
+
+    def download_bytes(self, client_id: int, round_idx: int) -> int:
+        return 2 * self.model_bytes  # model + server control variate
+
+    def upload_bytes(self, client_id: int, round_idx: int) -> int:
+        return 2 * self.model_bytes  # model delta + control delta
+
+
+class FedDyn(FedAvg):
+    """FedDyn: federated learning with dynamic regularization.
+
+    Each client adds ``-<grad_prev_i, w> + (alpha/2)||w - w_t||^2`` to its
+    local objective so local and global stationary points align; the server
+    keeps a running correction ``h`` folded into the global model.
+    ``alpha`` comes from ``config.extra["feddyn_alpha"]`` (default 0.1).
+    """
+
+    name = "feddyn"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.alpha = float(self.config.extra.get("feddyn_alpha", 0.1))
+        if self.alpha <= 0:
+            raise ValueError(f"feddyn_alpha must be positive, got {self.alpha}")
+
+    def setup(self) -> None:
+        super().setup()
+        dim = self.global_params.size
+        self.h = np.zeros(dim)
+        self.prev_grad = [np.zeros(dim) for _ in range(self.fed.num_clients)]
+
+    def _grad(self, x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, float]:
+        self.model.zero_grad()
+        logits = self.model.forward(x, train=True)
+        loss, dlogits = softmax_cross_entropy(logits, y)
+        self.model.backward(dlogits)
+        return flatten_grads(self.model), loss
+
+    def client_update(self, client_id: int, round_idx: int) -> ClientUpdate:
+        cfg = self.config
+        client = self.fed[client_id]
+        w_t = self.global_params
+        params = w_t.copy()
+        unflatten_params(self.model, params)
+        if self.global_state:
+            self.model.load_state(self.global_state)
+        rng = self.rngs.make(f"client{client_id}.train", round_idx)
+        total_loss, steps = 0.0, 0
+        for _ in range(cfg.local_epochs):
+            for batch in minibatches(client.n_train, cfg.batch_size, rng):
+                unflatten_params(self.model, params)
+                g, loss = self._grad(client.train_x[batch], client.train_y[batch])
+                g = g - self.prev_grad[client_id] + self.alpha * (params - w_t)
+                params -= cfg.lr * g
+                total_loss += loss
+                steps += 1
+        self.prev_grad[client_id] = self.prev_grad[client_id] - self.alpha * (
+            params - w_t
+        )
+        unflatten_params(self.model, params)
+        return ClientUpdate(
+            client_id=client_id,
+            params=params,
+            n_samples=client.n_train,
+            steps=steps,
+            loss=total_loss / max(steps, 1),
+            state={k: v.copy() for k, v in self.model.state().items()},
+        )
+
+    def aggregate(self, round_idx: int, updates: list[ClientUpdate]) -> None:
+        if not updates:
+            return
+        mean_w = np.mean([u.params for u in updates], axis=0)
+        self.h = self.h - self.alpha * (mean_w - self.global_params) * (
+            len(updates) / self.fed.num_clients
+        )
+        self.global_params = mean_w - self.h / self.alpha
+        if updates[0].state:
+            from repro.fl.server import average_states
+
+            self.global_state = average_states(
+                [u.state for u in updates], [u.n_samples for u in updates]
+            )

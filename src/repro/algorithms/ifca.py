@@ -1,0 +1,92 @@
+"""IFCA (Ghosh et al., 2020): iterative federated clustering with a fixed
+number of cluster models.
+
+Every round each selected client downloads *all* k cluster models (the
+k-fold download is why IFCA's Table-5 communication cost is high), picks
+the one with the lowest empirical loss on its local training data, trains
+it, and uploads the result tagged with the chosen cluster id.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.clustered import ClusteredAlgorithm
+from repro.fl.server import ClientUpdate, average_states, weighted_average
+from repro.fl.training import evaluate_loss
+from repro.nn.serialization import unflatten_params
+
+__all__ = ["IFCA"]
+
+
+class IFCA(ClusteredAlgorithm):
+    """Iterative federated clustering with k fixed cluster models (see
+    module docstring); ``config.extra["num_clusters"]`` sets k."""
+
+    name = "ifca"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.k = int(self.config.extra.get("num_clusters", 4))
+        if self.k < 1:
+            raise ValueError(f"num_clusters must be >= 1, got {self.k}")
+
+    def setup(self) -> None:
+        # Start every client in cluster 0 (assignments are recomputed each
+        # round anyway), but give each cluster its own random init — IFCA
+        # needs distinct models for the argmin to break symmetry.
+        self.init_clusters(np.zeros(self.fed.num_clients, dtype=np.int64))
+        self.num_clusters = self.k
+        self.cluster_params = []
+        self.cluster_states = []
+        for j in range(self.k):
+            m = self.model_fn(self.rngs.make("ifca_init", j))
+            from repro.nn.serialization import flatten_params
+
+            self.cluster_params.append(flatten_params(m))
+            self.cluster_states.append({key: v.copy() for key, v in m.state().items()})
+
+    def _best_cluster(self, client_id: int) -> int:
+        """argmin over cluster models of local training loss."""
+        client = self.fed[client_id]
+        losses = np.empty(self.k)
+        for j in range(self.k):
+            unflatten_params(self.model, self.cluster_params[j])
+            if self.cluster_states[j]:
+                self.model.load_state(self.cluster_states[j])
+            losses[j] = evaluate_loss(self.model, client.train_x, client.train_y)
+        return int(np.argmin(losses))
+
+    def client_update(self, client_id: int, round_idx: int) -> ClientUpdate:
+        j = self._best_cluster(client_id)
+        self.cluster_of[client_id] = j
+        update = self.local_train(
+            client_id, round_idx, self.cluster_params[j], self.cluster_states[j]
+        )
+        update.extras["cluster"] = j
+        return update
+
+    def aggregate(self, round_idx: int, updates: list[ClientUpdate]) -> None:
+        by_cluster: dict[int, list[ClientUpdate]] = {}
+        for u in updates:
+            by_cluster.setdefault(int(u.extras["cluster"]), []).append(u)
+        for gid, members in by_cluster.items():
+            weights = [u.n_samples for u in members]
+            self.cluster_params[gid] = weighted_average(
+                [u.params for u in members], weights
+            )
+            if members[0].state:
+                self.cluster_states[gid] = average_states(
+                    [u.state for u in members], weights
+                )
+
+    def eval_params_for_client(self, client_id: int) -> np.ndarray:
+        # Evaluation mirrors the mechanism: pick the best cluster by local
+        # *training* loss (test labels are never used for assignment).
+        j = self._best_cluster(client_id)
+        self.cluster_of[client_id] = j
+        return self.cluster_params[j]
+
+    def download_bytes(self, client_id: int, round_idx: int) -> int:
+        # The server ships all k cluster models every round.
+        return self.k * self.model_bytes

@@ -1,0 +1,24 @@
+"""From-scratch hierarchical clustering over weight-space distances."""
+
+from repro.clustering.distance import METRICS, condensed, proximity_matrix, squareform
+from repro.clustering.hierarchical import (
+    LINKAGES,
+    Dendrogram,
+    agglomerative,
+    hc_threshold_clusters,
+)
+from repro.clustering.metrics import adjusted_rand_index, contingency, purity
+
+__all__ = [
+    "proximity_matrix",
+    "condensed",
+    "squareform",
+    "METRICS",
+    "Dendrogram",
+    "agglomerative",
+    "hc_threshold_clusters",
+    "LINKAGES",
+    "adjusted_rand_index",
+    "purity",
+    "contingency",
+]

@@ -1,0 +1,63 @@
+"""Distance kernels for weight-space client similarity.
+
+FedClust constructs an m x m proximity matrix over clients' partial model
+weights using the L2 distance (paper Eq. 3); the cosine metric is included
+because the CFL baseline (Sattler et al.) partitions on cosine similarity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.maths import pairwise_sq_euclidean
+
+__all__ = ["proximity_matrix", "condensed", "squareform", "METRICS"]
+
+METRICS = ("euclidean", "sqeuclidean", "cosine")
+
+
+def proximity_matrix(vectors: np.ndarray, metric: str = "euclidean") -> np.ndarray:
+    """Pairwise distance matrix between row vectors.
+
+    ``vectors`` is (m, d) — one row per client (e.g. flattened final-layer
+    weights).  Returns a symmetric (m, m) matrix with a zero diagonal.
+    """
+    v = np.asarray(vectors, dtype=np.float64)
+    if v.ndim != 2:
+        raise ValueError(f"expected (clients, features) matrix, got shape {v.shape}")
+    if metric == "sqeuclidean":
+        return pairwise_sq_euclidean(v)
+    if metric == "euclidean":
+        return np.sqrt(pairwise_sq_euclidean(v))
+    if metric == "cosine":
+        norms = np.linalg.norm(v, axis=1)
+        norms = np.maximum(norms, 1e-30)
+        sim = (v @ v.T) / (norms[:, None] * norms[None, :])
+        np.clip(sim, -1.0, 1.0, out=sim)
+        d = 1.0 - sim
+        np.fill_diagonal(d, 0.0)
+        return d
+    raise ValueError(f"unknown metric {metric!r}; available: {METRICS}")
+
+
+def condensed(square: np.ndarray) -> np.ndarray:
+    """Upper-triangle (condensed) form of a square distance matrix."""
+    square = np.asarray(square)
+    n = square.shape[0]
+    if square.shape != (n, n):
+        raise ValueError(f"expected square matrix, got {square.shape}")
+    iu = np.triu_indices(n, k=1)
+    return square[iu]
+
+
+def squareform(cond: np.ndarray, n: int) -> np.ndarray:
+    """Inverse of :func:`condensed`."""
+    cond = np.asarray(cond, dtype=np.float64)
+    expected = n * (n - 1) // 2
+    if cond.size != expected:
+        raise ValueError(f"condensed form for n={n} needs {expected} entries, got {cond.size}")
+    out = np.zeros((n, n))
+    iu = np.triu_indices(n, k=1)
+    out[iu] = cond
+    out += out.T
+    return out

@@ -1,0 +1,47 @@
+"""Cluster-quality metrics used by tests, ablations, and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import comb
+
+__all__ = ["adjusted_rand_index", "purity", "contingency"]
+
+
+def contingency(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Contingency table between two integer labelings."""
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError(f"labelings must be equal-length 1-D, got {a.shape}, {b.shape}")
+    na, nb = a.max() + 1, b.max() + 1
+    table = np.zeros((na, nb), dtype=np.int64)
+    np.add.at(table, (a, b), 1)
+    return table
+
+
+def adjusted_rand_index(truth: np.ndarray, pred: np.ndarray) -> float:
+    """Adjusted Rand index between a ground-truth and predicted labeling.
+
+    1.0 = identical partitions (up to label names), ~0 = random agreement.
+    """
+    table = contingency(truth, pred)
+    n = table.sum()
+    if n <= 1:
+        return 1.0
+    sum_comb_cells = comb(table, 2).sum()
+    sum_comb_a = comb(table.sum(axis=1), 2).sum()
+    sum_comb_b = comb(table.sum(axis=0), 2).sum()
+    total = comb(n, 2)
+    expected = sum_comb_a * sum_comb_b / total
+    max_index = (sum_comb_a + sum_comb_b) / 2.0
+    if max_index == expected:
+        return 1.0
+    return float((sum_comb_cells - expected) / (max_index - expected))
+
+
+def purity(truth: np.ndarray, pred: np.ndarray) -> float:
+    """Fraction of points whose predicted cluster's majority truth label
+    matches their own — a simple interpretable clustering accuracy."""
+    table = contingency(truth, pred)
+    return float(table.max(axis=0).sum() / table.sum())

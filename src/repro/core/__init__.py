@@ -1,0 +1,19 @@
+"""FedClust — the paper's core contribution."""
+
+from repro.core.fedclust import FedClust
+from repro.core.newcomer import NewcomerResult, incorporate_newcomer, incorporate_newcomers
+from repro.core.weight_selection import (
+    SELECTION_STRATEGIES,
+    select_weights,
+    selection_nbytes,
+)
+
+__all__ = [
+    "FedClust",
+    "NewcomerResult",
+    "incorporate_newcomer",
+    "incorporate_newcomers",
+    "select_weights",
+    "selection_nbytes",
+    "SELECTION_STRATEGIES",
+]

@@ -1,0 +1,141 @@
+"""FedClust (paper Alg. 1): one-shot weight-driven client clustering.
+
+Round 0 (``setup``): the server broadcasts θ⁰ to *all* clients; each client
+runs a few local epochs and uploads only its strategically selected partial
+weights (final layer by default).  The server builds the L2 proximity
+matrix M (Eq. 3), runs agglomerative hierarchical clustering ``HC(M, λ)``,
+and initializes one model per cluster with θ⁰.
+
+Rounds 1..T: FedAvg within each cluster (Eq. 2) — selected clients report
+their cluster id, receive their cluster model, train locally, and upload;
+the server averages per cluster.
+
+The server keeps each cluster's partial-weight centroid so newcomers can be
+assigned on-the-fly (Alg. 2, :mod:`repro.core.newcomer`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.clustered import ClusteredAlgorithm
+from repro.clustering.distance import proximity_matrix
+from repro.clustering.hierarchical import Dendrogram, agglomerative, largest_gap_threshold
+from repro.core.weight_selection import select_weights, selection_nbytes
+from repro.nn.serialization import flatten_params, unflatten_params
+
+__all__ = ["FedClust"]
+
+
+class FedClust(ClusteredAlgorithm):
+    """The paper's proposed algorithm.
+
+    ``config.extra`` knobs:
+
+    * ``lam`` — clustering threshold λ (distance at which merging stops);
+    * ``target_clusters`` — alternatively, cut the dendrogram at exactly
+      this many clusters (how the experiments emulate the paper's
+      per-dataset λ tuning, Fig. 4);
+    * ``linkage`` — HC linkage criterion (default ``"average"``);
+    * ``metric`` — proximity metric (default ``"euclidean"``, Eq. 3);
+    * ``selection`` / ``selection_k`` — partial-weight strategy (§4.1);
+    * ``warmup_epochs`` — local epochs before the partial upload.
+    """
+
+    name = "fedclust"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        extra = self.config.extra
+        lam = extra.get("lam", "auto")
+        if lam == "auto":
+            self.lam: float | str = "auto"
+        else:
+            self.lam = float(lam)
+            if self.lam < 0:
+                raise ValueError(f"clustering threshold lam must be >= 0, got {self.lam}")
+        target = extra.get("target_clusters")
+        self.target_clusters = int(target) if target is not None else None
+        if self.target_clusters is not None and self.target_clusters < 1:
+            raise ValueError(f"target_clusters must be >= 1, got {self.target_clusters}")
+        self.linkage = str(extra.get("linkage", "average"))
+        self.metric = str(extra.get("metric", "euclidean"))
+        self.selection = str(extra.get("selection", "final"))
+        self.selection_k = int(extra.get("selection_k", 2))
+        self.warmup_epochs = int(extra.get("warmup_epochs", self.config.local_epochs))
+        self.partial_bytes = selection_nbytes(self.model, self.selection, self.selection_k)
+        # θ⁰: the initial global model every client warms up from (Alg. 1
+        # line 3).  Captured before any client training touches the shared
+        # work model.
+        self.theta0 = flatten_params(self.model)
+        #: set by setup(): the dendrogram, proximity matrix, and per-cluster
+        #: partial-weight centroids (newcomer assignment, Alg. 2)
+        self.dendrogram: Dendrogram | None = None
+        self.proximity: np.ndarray | None = None
+        self.cluster_centroids: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # round 0: one-shot clustering
+    # ------------------------------------------------------------------
+    def client_partial_weights(self, client_id: int) -> np.ndarray:
+        """One client's round-0 contribution: θ⁰ → local SGD → partial
+        weights (the only thing uploaded)."""
+        update = self.local_train(
+            client_id, round_idx=0, params=self.theta0, epochs=self.warmup_epochs
+        )
+        unflatten_params(self.model, update.params)
+        return select_weights(self.model, self.selection, self.selection_k)
+
+    def setup(self) -> None:
+        n = self.fed.num_clients
+        partials = []
+        for cid in range(n):
+            self.comm.record_download(0, self.model_bytes)  # θ⁰ broadcast
+            partials.append(self.client_partial_weights(cid))
+            self.comm.record_upload(0, self.partial_bytes)  # partial upload
+        partial_matrix = np.stack(partials)
+        self.proximity = proximity_matrix(partial_matrix, self.metric)
+        self.dendrogram = agglomerative(self.proximity, self.linkage)
+        if self.target_clusters is not None:
+            assignment = self.dendrogram.cut_k(min(self.target_clusters, n))
+        elif self.lam == "auto":
+            # Data-driven λ (largest merge-height gap) standing in for the
+            # paper's per-dataset tuning of λ.
+            assignment = self.dendrogram.cut(
+                largest_gap_threshold(self.dendrogram, min_clusters=2)
+            )
+        else:
+            assignment = self.dendrogram.cut(float(self.lam))
+        self.init_clusters(assignment)
+        # Partial-weight centroids for Alg. 2 newcomer assignment.
+        self.cluster_centroids = np.stack(
+            [
+                partial_matrix[assignment == g].mean(axis=0)
+                for g in range(self.num_clusters)
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # newcomer support (Alg. 2) — used by repro.core.newcomer
+    # ------------------------------------------------------------------
+    def assign_newcomer(self, partial_weights: np.ndarray) -> int:
+        """g* = argmin_g dist(θ̂_new, θ̂_g) over stored cluster centroids."""
+        if self.cluster_centroids is None:
+            raise RuntimeError("setup() has not run; no clusters exist yet")
+        partial_weights = np.asarray(partial_weights, dtype=np.float64)
+        if partial_weights.shape != (self.cluster_centroids.shape[1],):
+            raise ValueError(
+                f"partial weights have {partial_weights.shape} entries; "
+                f"expected ({self.cluster_centroids.shape[1]},)"
+            )
+        d = np.linalg.norm(self.cluster_centroids - partial_weights[None, :], axis=1)
+        return int(np.argmin(d))
+
+    # ------------------------------------------------------------------
+    # introspection used by the λ-sweep experiment (Fig. 4)
+    # ------------------------------------------------------------------
+    def clusters_at(self, lam: float) -> np.ndarray:
+        """Cluster assignment the round-0 dendrogram would give at λ."""
+        if self.dendrogram is None:
+            raise RuntimeError("setup() has not run; no dendrogram exists yet")
+        return self.dendrogram.cut(lam)

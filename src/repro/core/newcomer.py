@@ -1,0 +1,91 @@
+"""Newcomer incorporation (paper Alg. 2 and the Table-6 experiment).
+
+A newcomer joins *after* federation: it trains the initial global model θ⁰
+on its local data for a few epochs, uploads only partial weights, is
+assigned to the cluster with the nearest stored partial-weight centroid,
+receives that cluster's model, personalizes it for a few epochs, and
+evaluates on its own test split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fedclust import FedClust
+from repro.core.weight_selection import select_weights
+from repro.data.federated import ClientData
+from repro.fl.training import evaluate_accuracy, local_sgd
+from repro.nn.optim import SGD
+from repro.nn.serialization import unflatten_params
+from repro.utils.rng import as_generator
+
+__all__ = ["NewcomerResult", "incorporate_newcomer", "incorporate_newcomers"]
+
+
+@dataclass(frozen=True)
+class NewcomerResult:
+    client_id: int
+    assigned_cluster: int
+    accuracy: float
+    personalize_epochs: int
+
+
+def incorporate_newcomer(
+    algo: FedClust,
+    client: ClientData,
+    personalize_epochs: int = 5,
+    rng: int | np.random.Generator = 0,
+) -> NewcomerResult:
+    """Run Alg. 2 for one newcomer against a finished FedClust federation."""
+    if algo.cluster_centroids is None:
+        raise RuntimeError("the federation has not run setup(); no clusters exist")
+    rng = as_generator(rng)
+    cfg = algo.config
+    model = algo.model
+
+    # 1-2: newcomer trains θ⁰ locally.
+    unflatten_params(model, algo.theta0)
+    opt = SGD(model, lr=cfg.lr, momentum=cfg.momentum, weight_decay=cfg.weight_decay)
+    local_sgd(
+        model, opt, client.train_x, client.train_y,
+        epochs=algo.warmup_epochs, batch_size=cfg.batch_size, rng=rng,
+    )
+    # 3: transmit partial weights; 4-5: server assigns nearest cluster.
+    partial = select_weights(model, algo.selection, algo.selection_k)
+    gid = algo.assign_newcomer(partial)
+
+    # Personalize the received cluster model on local data, then test.
+    unflatten_params(model, algo.cluster_params[gid])
+    if algo.cluster_states[gid]:
+        model.load_state(algo.cluster_states[gid])
+    opt = SGD(model, lr=cfg.lr, momentum=cfg.momentum, weight_decay=cfg.weight_decay)
+    if personalize_epochs > 0:
+        local_sgd(
+            model, opt, client.train_x, client.train_y,
+            epochs=personalize_epochs, batch_size=cfg.batch_size, rng=rng,
+        )
+    acc = evaluate_accuracy(model, client.test_x, client.test_y)
+    return NewcomerResult(
+        client_id=client.client_id,
+        assigned_cluster=gid,
+        accuracy=acc,
+        personalize_epochs=personalize_epochs,
+    )
+
+
+def incorporate_newcomers(
+    algo: FedClust,
+    newcomers,
+    personalize_epochs: int = 5,
+    seed: int = 0,
+) -> list[NewcomerResult]:
+    """Alg. 2 for a batch of newcomers (the Table-6 protocol)."""
+    results = []
+    for i, client in enumerate(newcomers):
+        rng = np.random.default_rng(np.random.SeedSequence([seed, i]))
+        results.append(
+            incorporate_newcomer(algo, client, personalize_epochs, rng)
+        )
+    return results

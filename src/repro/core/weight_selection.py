@@ -1,0 +1,50 @@
+"""Partial-weight selection strategies (paper §4.1).
+
+FedClust's key design choice: clients upload only the *final layer's*
+weights+bias as the representation of their data distribution.  This module
+makes that choice explicit and pluggable so the weight-selection ablation
+(motivating Fig. 1) can compare final-layer vs first-layer vs full-model
+selection on identical trained models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.model import Sequential
+from repro.nn.serialization import flatten_params, layer_slices
+
+__all__ = ["select_weights", "selection_nbytes", "SELECTION_STRATEGIES"]
+
+SELECTION_STRATEGIES = ("final", "first", "all", "last_k")
+
+
+def _strategy_slices(model: Sequential, strategy: str, k: int) -> list[slice]:
+    slices = layer_slices(model)
+    if strategy == "final":
+        return [slices[-1][1]]
+    if strategy == "first":
+        return [slices[0][1]]
+    if strategy == "all":
+        return [slice(0, model.num_parameters())]
+    if strategy == "last_k":
+        if not 1 <= k <= len(slices):
+            raise ValueError(f"last_k needs 1 <= k <= {len(slices)}, got {k}")
+        chosen = slices[-k:]
+        return [slice(chosen[0][1].start, chosen[-1][1].stop)]
+    raise ValueError(
+        f"unknown selection strategy {strategy!r}; available: {SELECTION_STRATEGIES}"
+    )
+
+
+def select_weights(model: Sequential, strategy: str = "final", k: int = 2) -> np.ndarray:
+    """The partial-weight vector a client uploads under ``strategy``."""
+    flat = flatten_params(model)
+    return np.concatenate([flat[s] for s in _strategy_slices(model, strategy, k)])
+
+
+def selection_nbytes(model: Sequential, strategy: str = "final", k: int = 2) -> int:
+    """Bytes on the wire for the partial upload (at the model's dtype)."""
+    itemsize = model.parameters()[0].data.itemsize
+    n = sum(s.stop - s.start for s in _strategy_slices(model, strategy, k))
+    return int(n * itemsize)

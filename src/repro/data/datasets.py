@@ -1,0 +1,204 @@
+"""Dataset containers and the synthetic benchmark registry.
+
+``make_dataset("cifar10")`` etc. return offline synthetic stand-ins for the
+paper's four benchmarks (see :mod:`repro.data.synthetic` for the rationale).
+Registry entries mirror each real dataset's class count, channel count, and
+relative difficulty; resolution is scaled to 16x16 so NumPy CPU training is
+feasible, and every knob can be overridden.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.data.synthetic import make_prototypes, sample_class_images
+from repro.utils.rng import RngFactory
+
+__all__ = ["Dataset", "DatasetSpec", "DATASET_SPECS", "make_dataset"]
+
+
+@dataclass
+class Dataset:
+    """An in-memory labelled image dataset (NCHW float32 / int64 labels)."""
+
+    name: str
+    x: np.ndarray
+    y: np.ndarray
+    num_classes: int
+
+    def __post_init__(self) -> None:
+        self.x = np.ascontiguousarray(self.x, dtype=np.float32)
+        self.y = np.ascontiguousarray(self.y, dtype=np.int64)
+        if self.x.ndim != 4:
+            raise ValueError(f"expected NCHW images, got shape {self.x.shape}")
+        if self.y.shape != (self.x.shape[0],):
+            raise ValueError(
+                f"labels shape {self.y.shape} does not match {self.x.shape[0]} images"
+            )
+        if self.y.size and (self.y.min() < 0 or self.y.max() >= self.num_classes):
+            raise ValueError("labels out of range for num_classes")
+
+    def __len__(self) -> int:
+        return int(self.x.shape[0])
+
+    @property
+    def input_shape(self) -> tuple[int, int, int]:
+        return tuple(self.x.shape[1:])  # type: ignore[return-value]
+
+    def subset(self, indices: np.ndarray) -> "Dataset":
+        indices = np.asarray(indices)
+        return Dataset(self.name, self.x[indices], self.y[indices], self.num_classes)
+
+    def shuffled(self, rng: np.random.Generator) -> "Dataset":
+        perm = rng.permutation(len(self))
+        return self.subset(perm)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Generation recipe for one synthetic benchmark."""
+
+    name: str
+    num_classes: int
+    channels: int
+    size: int
+    n_samples: int
+    class_sep: float
+    noise: float
+    lowfreq_noise: float
+    coarse: int = 4
+    #: classes per confusable group (0 = all classes mutually distinct);
+    #: models FMNIST's shirt/pullover-style similarity and CIFAR-100's
+    #: superclasses — see make_prototypes
+    confusable_groups: int = 0
+    confusable_mix: float = 0.0
+    description: str = ""
+    paper_counterpart: str = ""
+    extras: dict = field(default_factory=dict)
+
+
+# Difficulty ordering mirrors the real benchmarks: FMNIST is the easiest
+# (high separation, 1 channel), SVHN a bit harder, CIFAR-10 harder still,
+# CIFAR-100 hardest (100 classes at low separation).
+DATASET_SPECS: dict[str, DatasetSpec] = {
+    "cifar10": DatasetSpec(
+        name="cifar10",
+        num_classes=10,
+        channels=3,
+        size=16,
+        n_samples=6000,
+        class_sep=1.6,
+        noise=1.0,
+        lowfreq_noise=0.7,
+        confusable_groups=5,
+        confusable_mix=0.75,
+        description="Synthetic CIFAR-10 stand-in: 10 classes (5 confusable pairs), 3x16x16",
+        paper_counterpart="CIFAR-10 (Krizhevsky 2009)",
+    ),
+    "cifar100": DatasetSpec(
+        name="cifar100",
+        num_classes=100,
+        channels=3,
+        size=16,
+        n_samples=12000,
+        class_sep=1.4,
+        noise=1.0,
+        lowfreq_noise=0.6,
+        coarse=5,
+        confusable_groups=20,
+        confusable_mix=0.7,
+        description="Synthetic CIFAR-100 stand-in: 100 classes in 20 "
+        "superclass-like groups, 3x16x16",
+        paper_counterpart="CIFAR-100 (Krizhevsky 2009)",
+    ),
+    "fmnist": DatasetSpec(
+        name="fmnist",
+        num_classes=10,
+        channels=1,
+        size=16,
+        n_samples=6000,
+        class_sep=2.4,
+        noise=0.8,
+        lowfreq_noise=0.5,
+        confusable_groups=5,
+        confusable_mix=0.75,
+        description="Synthetic Fashion-MNIST stand-in: 10 classes "
+        "(5 confusable pairs, like shirt/pullover), 1x16x16",
+        paper_counterpart="Fashion-MNIST (Xiao et al. 2017)",
+    ),
+    "svhn": DatasetSpec(
+        name="svhn",
+        num_classes=10,
+        channels=3,
+        size=16,
+        n_samples=6000,
+        class_sep=2.0,
+        noise=1.0,
+        lowfreq_noise=0.6,
+        confusable_groups=5,
+        confusable_mix=0.7,
+        description="Synthetic SVHN stand-in: 10 digit classes "
+        "(5 confusable pairs, like 3/8), 3x16x16",
+        paper_counterpart="SVHN (Netzer et al. 2011)",
+    ),
+}
+
+
+def make_dataset(
+    name: str,
+    seed: int = 0,
+    n_samples: int | None = None,
+    size: int | None = None,
+    **overrides,
+) -> Dataset:
+    """Generate a synthetic benchmark dataset by registry name.
+
+    Samples are drawn with a balanced label marginal, shuffled, and
+    standardized to zero mean / unit variance.  The same ``(name, seed)``
+    pair always produces the identical dataset.
+    """
+    try:
+        spec = DATASET_SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(DATASET_SPECS)}"
+        ) from None
+    if n_samples is not None:
+        overrides["n_samples"] = n_samples
+    if size is not None:
+        overrides["size"] = size
+    if overrides:
+        spec = replace(spec, **overrides)
+    if spec.n_samples < spec.num_classes:
+        raise ValueError(
+            f"{spec.n_samples} samples cannot cover {spec.num_classes} classes"
+        )
+
+    rngs = RngFactory(seed)
+    shape = (spec.channels, spec.size, spec.size)
+    protos = make_prototypes(
+        spec.num_classes,
+        shape,
+        rngs.make(f"{name}.protos"),
+        spec.class_sep,
+        spec.coarse,
+        confusable_groups=spec.confusable_groups,
+        confusable_mix=spec.confusable_mix,
+    )
+    # Balanced label marginal, then shuffled.
+    reps = int(np.ceil(spec.n_samples / spec.num_classes))
+    labels = np.tile(np.arange(spec.num_classes), reps)[: spec.n_samples]
+    labels = rngs.make(f"{name}.labels").permutation(labels)
+    x = sample_class_images(
+        protos,
+        labels,
+        rngs.make(f"{name}.images"),
+        noise=spec.noise,
+        lowfreq_noise=spec.lowfreq_noise,
+        coarse=spec.coarse,
+    )
+    x -= x.mean()
+    x /= max(float(x.std()), 1e-8)
+    return Dataset(name, x, labels, spec.num_classes)

@@ -1,0 +1,207 @@
+"""Federated dataset containers: per-client train/test shards.
+
+The paper's headline metric is the *average final local test accuracy over
+all clients*: every client evaluates on a held-out split of its **own**
+(non-IID) data.  ``FederatedDataset`` owns that per-client train/test split
+and the partition statistics the experiments report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.data.partition import Partition, make_partition
+from repro.utils.maths import emd_heterogeneity, label_histogram
+from repro.utils.rng import as_generator
+
+__all__ = ["ClientData", "FederatedDataset", "build_federated_dataset", "grouped_label_partition"]
+
+
+@dataclass
+class ClientData:
+    """One client's local shard, already split into train and test."""
+
+    client_id: int
+    train_x: np.ndarray
+    train_y: np.ndarray
+    test_x: np.ndarray
+    test_y: np.ndarray
+
+    @property
+    def n_train(self) -> int:
+        return int(self.train_y.size)
+
+    @property
+    def n_test(self) -> int:
+        return int(self.test_y.size)
+
+    def label_hist(self, num_classes: int) -> np.ndarray:
+        return label_histogram(self.train_y, num_classes)
+
+
+class FederatedDataset:
+    """All clients' shards plus global metadata.
+
+    Iterable and indexable by client id.  Slicing utilities support the
+    newcomer experiment (Table 6): ``split_newcomers(k)`` removes the last
+    ``k`` clients from the federation and returns them separately.
+    """
+
+    def __init__(
+        self,
+        clients: list[ClientData],
+        num_classes: int,
+        input_shape: tuple[int, int, int],
+        partition: Partition | None = None,
+        name: str = "federated",
+    ):
+        if not clients:
+            raise ValueError("FederatedDataset needs at least one client")
+        self.clients = clients
+        self.num_classes = num_classes
+        self.input_shape = input_shape
+        self.partition = partition
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.clients)
+
+    def __getitem__(self, i: int) -> ClientData:
+        return self.clients[i]
+
+    def __iter__(self):
+        return iter(self.clients)
+
+    @property
+    def num_clients(self) -> int:
+        return len(self.clients)
+
+    def total_train_samples(self) -> int:
+        return sum(c.n_train for c in self.clients)
+
+    def label_hists(self) -> np.ndarray:
+        """(clients, classes) matrix of local train label distributions."""
+        return np.stack([c.label_hist(self.num_classes) for c in self.clients])
+
+    def heterogeneity(self) -> float:
+        """Scalar EMD-style label-skew index (0 = IID)."""
+        return emd_heterogeneity(self.label_hists())
+
+    def ground_truth_groups(self) -> np.ndarray | None:
+        """Cluster ground truth from label sets, when the partitioner
+        recorded them: clients with identical label sets share a group id."""
+        if self.partition is None or self.partition.client_label_sets is None:
+            return None
+        seen: dict[frozenset, int] = {}
+        out = np.empty(len(self.clients), dtype=np.int64)
+        # Index label sets by the preserved client_id so views produced by
+        # split_newcomers() still map correctly.
+        for i, client in enumerate(self.clients):
+            s = self.partition.client_label_sets[client.client_id]
+            out[i] = seen.setdefault(s, len(seen))
+        return out
+
+    def split_newcomers(self, k: int) -> tuple["FederatedDataset", "FederatedDataset"]:
+        """Hold out the last ``k`` clients as post-federation newcomers."""
+        if not 0 < k < len(self.clients):
+            raise ValueError(
+                f"k must be in (0, {len(self.clients)}), got {k}"
+            )
+        base = FederatedDataset(
+            self.clients[:-k], self.num_classes, self.input_shape, self.partition,
+            name=f"{self.name}.base",
+        )
+        new = FederatedDataset(
+            self.clients[-k:], self.num_classes, self.input_shape, self.partition,
+            name=f"{self.name}.newcomers",
+        )
+        return base, new
+
+
+def build_federated_dataset(
+    dataset: Dataset,
+    scheme: str,
+    num_clients: int,
+    rng: int | np.random.Generator = 0,
+    test_fraction: float = 0.2,
+    **partition_params,
+) -> FederatedDataset:
+    """Partition ``dataset`` and split each client shard into train/test.
+
+    The split is stratified-ish by shuffling within the client shard; every
+    client keeps at least one train and (when possible) one test sample.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = as_generator(rng)
+    part = make_partition(scheme, dataset.y, num_clients, rng=rng, **partition_params)
+    part.validate_disjoint(len(dataset))
+    clients = []
+    for cid, idx in enumerate(part.client_indices):
+        idx = rng.permutation(idx)
+        n_test = min(max(1, int(round(test_fraction * idx.size))), idx.size - 1)
+        test_ix, train_ix = idx[:n_test], idx[n_test:]
+        clients.append(
+            ClientData(
+                client_id=cid,
+                train_x=dataset.x[train_ix],
+                train_y=dataset.y[train_ix],
+                test_x=dataset.x[test_ix],
+                test_y=dataset.y[test_ix],
+            )
+        )
+    return FederatedDataset(
+        clients, dataset.num_classes, dataset.input_shape, part, name=dataset.name
+    )
+
+
+def grouped_label_partition(
+    dataset: Dataset,
+    groups: list[list[int]],
+    clients_per_group: int,
+    rng: int | np.random.Generator = 0,
+    test_fraction: float = 0.2,
+) -> FederatedDataset:
+    """The Fig.-1 motivation setting: explicit client groups by label list.
+
+    ``groups`` is a list of disjoint label lists (e.g. ``[[0..4], [5..9]]``);
+    each group is served by ``clients_per_group`` clients that share its
+    label pool IID.
+    """
+    rng = as_generator(rng)
+    all_labels = [lab for g in groups for lab in g]
+    if len(set(all_labels)) != len(all_labels):
+        raise ValueError("groups must have disjoint label sets")
+    clients: list[ClientData] = []
+    label_sets: list[frozenset] = []
+    cid = 0
+    for group in groups:
+        mask = np.isin(dataset.y, group)
+        idx = rng.permutation(np.flatnonzero(mask))
+        shards = np.array_split(idx, clients_per_group)
+        for shard in shards:
+            shard = rng.permutation(shard)
+            n_test = min(max(1, int(round(test_fraction * shard.size))), shard.size - 1)
+            clients.append(
+                ClientData(
+                    client_id=cid,
+                    train_x=dataset.x[shard[n_test:]],
+                    train_y=dataset.y[shard[n_test:]],
+                    test_x=dataset.x[shard[:n_test]],
+                    test_y=dataset.y[shard[:n_test]],
+                )
+            )
+            label_sets.append(frozenset(int(v) for v in group))
+            cid += 1
+    part = Partition(
+        [np.array([], dtype=np.int64)] * len(clients),
+        "grouped",
+        {"groups": groups, "clients_per_group": clients_per_group},
+        client_label_sets=label_sets,
+    )
+    return FederatedDataset(
+        clients, dataset.num_classes, dataset.input_shape, part, name=dataset.name
+    )

@@ -1,0 +1,60 @@
+"""Experiment harness: regenerates every table and figure in the paper."""
+
+from repro.experiments.configs import (
+    ALL_METHODS,
+    BENCH_SCALE,
+    DATASET_MODEL,
+    FIG3_METHODS,
+    NONIID_SETTINGS,
+    PAPER_SCALE,
+    SMOKE_SCALE,
+    ExperimentScale,
+    make_federation,
+    make_model_fn,
+    method_extras,
+)
+from repro.experiments.figures import block_contrast, figure1, figure3, figure4
+from repro.experiments.reporting import (
+    format_accuracy_table,
+    format_curves,
+    format_figure1,
+    format_figure4,
+    format_scalar_table,
+)
+from repro.experiments.runner import CellResult, run_cell, run_methods
+from repro.experiments.tables import (
+    table_accuracy,
+    table_comm_cost,
+    table_newcomers,
+    table_rounds_to_target,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "PAPER_SCALE",
+    "BENCH_SCALE",
+    "SMOKE_SCALE",
+    "ALL_METHODS",
+    "FIG3_METHODS",
+    "NONIID_SETTINGS",
+    "DATASET_MODEL",
+    "make_federation",
+    "make_model_fn",
+    "method_extras",
+    "run_cell",
+    "run_methods",
+    "CellResult",
+    "table_accuracy",
+    "table_rounds_to_target",
+    "table_comm_cost",
+    "table_newcomers",
+    "figure1",
+    "figure3",
+    "figure4",
+    "block_contrast",
+    "format_accuracy_table",
+    "format_scalar_table",
+    "format_figure1",
+    "format_figure4",
+    "format_curves",
+]

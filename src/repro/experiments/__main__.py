@@ -1,0 +1,124 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro.experiments table1 [--scale bench|smoke|paper] [--seeds 0 1 2]
+    python -m repro.experiments figure4 --dataset cifar10
+    python -m repro.experiments all            # everything, bench scale
+
+Artifacts print to stdout in the paper's row format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    ALL_METHODS,
+    BENCH_SCALE,
+    PAPER_SCALE,
+    SMOKE_SCALE,
+    figure1,
+    figure3,
+    figure4,
+    format_accuracy_table,
+    format_curves,
+    format_figure1,
+    format_figure4,
+    format_scalar_table,
+    table_accuracy,
+    table_comm_cost,
+    table_newcomers,
+    table_rounds_to_target,
+)
+
+SCALES = {"bench": BENCH_SCALE, "smoke": SMOKE_SCALE, "paper": PAPER_SCALE}
+DATASETS = ["cifar10", "cifar100", "fmnist", "svhn"]
+ARTIFACTS = [
+    "figure1", "table1", "table2", "table3", "figure3",
+    "table4", "table5", "figure4", "table6",
+]
+
+
+def run_artifact(name: str, scale, seeds, datasets) -> str:
+    no_local = [m for m in ALL_METHODS if m != "local"]
+    if name == "figure1":
+        return format_figure1(
+            figure1(local_epochs=2, n_samples=600, image_size=scale.image_size),
+            "Figure 1 — layer-wise distance matrices",
+        )
+    if name == "table1":
+        return format_accuracy_table(
+            table_accuracy("label_skew_20", scale, datasets, seeds=seeds),
+            "Table 1 — accuracy (%), non-IID label skew 20%",
+        )
+    if name == "table2":
+        return format_accuracy_table(
+            table_accuracy("label_skew_30", scale, datasets, seeds=seeds),
+            "Table 2 — accuracy (%), non-IID label skew 30%",
+        )
+    if name == "table3":
+        return format_accuracy_table(
+            table_accuracy("dirichlet_0.1", scale, datasets, seeds=seeds),
+            "Table 3 — accuracy (%), non-IID Dirichlet(0.1)",
+        )
+    if name == "figure3":
+        fig = figure3("label_skew_20", scale.scaled(rounds=max(scale.rounds, 10)),
+                      datasets, seeds=seeds)
+        return "\n\n".join(format_curves(fig, ds, every=2) for ds in datasets)
+    if name == "table4":
+        return format_scalar_table(
+            table_rounds_to_target(
+                "label_skew_20", scale.scaled(rounds=max(scale.rounds, 10)),
+                datasets, methods=no_local, seeds=seeds,
+            ),
+            "Table 4 — rounds to target accuracy, label skew 20%",
+            fmt="{:.0f}",
+        )
+    if name == "table5":
+        return format_scalar_table(
+            table_comm_cost(
+                "label_skew_30", scale.scaled(rounds=max(scale.rounds, 10)),
+                datasets, methods=no_local, seeds=seeds,
+            ),
+            "Table 5 — Mb to target accuracy, label skew 30%",
+            fmt="{:.3f}",
+        )
+    if name == "figure4":
+        parts = [
+            format_figure4(figure4(ds, "label_skew_20", scale, num_lambdas=6))
+            for ds in datasets
+        ]
+        return "\n\n".join(parts)
+    if name == "table6":
+        return format_accuracy_table(
+            table_newcomers("label_skew_20", scale, datasets, seeds=seeds),
+            "Table 6 — newcomer accuracy (%), label skew 20%",
+        )
+    raise KeyError(name)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the FedClust paper's tables and figures.",
+    )
+    parser.add_argument("artifact", choices=ARTIFACTS + ["all"])
+    parser.add_argument("--scale", choices=sorted(SCALES), default="bench")
+    parser.add_argument("--seeds", type=int, nargs="+", default=[0])
+    parser.add_argument("--dataset", choices=DATASETS, action="append",
+                        help="restrict to specific datasets (repeatable)")
+    args = parser.parse_args(argv)
+
+    scale = SCALES[args.scale]
+    datasets = args.dataset or DATASETS
+    names = ARTIFACTS if args.artifact == "all" else [args.artifact]
+    for name in names:
+        print(run_artifact(name, scale, tuple(args.seeds), datasets))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,183 @@
+"""Regeneration harnesses for the paper's Figures 1, 3, and 4."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering.distance import proximity_matrix
+from repro.clustering.hierarchical import agglomerative
+from repro.clustering.metrics import adjusted_rand_index
+from repro.data import grouped_label_partition, make_dataset
+from repro.experiments.configs import (
+    FIG3_METHODS,
+    ExperimentScale,
+    make_federation,
+    make_model_fn,
+    method_extras,
+)
+from repro.experiments.runner import run_cell, run_methods
+from repro.fl.training import local_sgd
+from repro.nn.models import vgg_mini
+from repro.nn.optim import SGD
+from repro.nn.serialization import flatten_params, layer_slices, unflatten_params
+from repro.utils.rng import RngFactory
+
+__all__ = ["figure1", "figure3", "figure4", "block_contrast"]
+
+
+def block_contrast(distance: np.ndarray, groups: np.ndarray) -> float:
+    """Between-group / within-group mean distance ratio.
+
+    Quantifies what Fig. 1 shows visually: > 1 means the distance matrix
+    exposes the group structure; ~1 means it does not.
+    """
+    distance = np.asarray(distance, dtype=np.float64)
+    groups = np.asarray(groups)
+    same = groups[:, None] == groups[None, :]
+    off_diag = ~np.eye(len(groups), dtype=bool)
+    within = distance[same & off_diag]
+    between = distance[~same]
+    if within.size == 0 or between.size == 0:
+        raise ValueError("need at least two groups with two members each")
+    return float(between.mean() / max(within.mean(), 1e-12))
+
+
+def figure1(
+    num_clients_per_group: int = 5,
+    layers: tuple[int, ...] = (0, 6, 13, 15),
+    local_epochs: int = 3,
+    n_samples: int = 1000,
+    image_size: int = 8,
+    width: float = 0.125,
+    lr: float = 0.05,
+    batch_size: int = 10,
+    seed: int = 0,
+) -> dict:
+    """Fig. 1: per-layer distance matrices on VGG16 under 2-group label skew.
+
+    Ten clients in two label groups ({0..4}, {5..9}) each train a VGG-16
+    topology locally from the same init; distance matrices are computed
+    from individual parametric layers.  Paper layers 1, 7, 14, 16 map to
+    parametric-layer indices 0, 6, 13, 15 (conv1, conv7, fc14, fc16).
+
+    Returns per-layer matrices plus two scalars per layer: the
+    between/within block-contrast ratio and the ARI of a 2-way HC cut
+    against the ground-truth groups — the quantitative form of "the final
+    layer reveals the clusters, early conv layers do not".
+    """
+    ds = make_dataset("cifar10", seed=seed, n_samples=n_samples, size=image_size)
+    fed = grouped_label_partition(
+        ds, [[0, 1, 2, 3, 4], [5, 6, 7, 8, 9]], num_clients_per_group, rng=seed
+    )
+    rngs = RngFactory(seed)
+    model = vgg_mini(fed.num_classes, fed.input_shape, width=width, rng=rngs.make("init"))
+    theta0 = flatten_params(model)
+    slices = layer_slices(model)
+    client_params = []
+    for cid in range(fed.num_clients):
+        unflatten_params(model, theta0)
+        opt = SGD(model, lr=lr, momentum=0.9)
+        c = fed[cid]
+        local_sgd(
+            model, opt, c.train_x, c.train_y,
+            epochs=local_epochs, batch_size=batch_size, rng=rngs.make("train", cid),
+        )
+        client_params.append(flatten_params(model))
+    stacked = np.stack(client_params)
+    groups = fed.ground_truth_groups()
+
+    out: dict[int, dict] = {}
+    for layer_idx in layers:
+        if not 0 <= layer_idx < len(slices):
+            raise ValueError(
+                f"layer index {layer_idx} out of range (model has {len(slices)} "
+                "parametric layers)"
+            )
+        _, sl = slices[layer_idx]
+        mat = proximity_matrix(stacked[:, sl], "euclidean")
+        labels = agglomerative(mat, "average").cut_k(2)
+        out[layer_idx] = {
+            "distance_matrix": mat,
+            "contrast": block_contrast(mat, groups),
+            "ari_vs_groups": adjusted_rand_index(groups, labels),
+        }
+    return {"layers": out, "groups": groups, "num_parametric_layers": len(slices)}
+
+
+def figure3(
+    setting: str,
+    scale: ExperimentScale,
+    datasets: list[str] = ("cifar10", "cifar100", "fmnist", "svhn"),
+    methods: list[str] = tuple(FIG3_METHODS),
+    seeds: tuple[int, ...] = (0,),
+) -> dict:
+    """Fig. 3: accuracy-vs-round curves for the personalized/CFL methods.
+
+    Evaluates every round (``eval_every=1``) so the curves are dense, as in
+    the paper's 80-round-budget plots.
+    """
+    curves: dict[str, dict[str, dict]] = {}
+    for dataset in datasets:
+        by_method = run_methods(
+            dataset, list(methods), setting, scale, seeds=seeds,
+            config_overrides={"eval_every": 1},
+        )
+        curves[dataset] = {}
+        for method, runs in by_method.items():
+            accs = np.stack([r.history.accuracies for r in runs])
+            curves[dataset][method] = {
+                "rounds": runs[0].history.rounds,
+                "accuracy_mean": 100.0 * accs.mean(axis=0),
+                "accuracy_std": 100.0 * accs.std(axis=0),
+            }
+    return {"setting": setting, "curves": curves}
+
+
+def figure4(
+    dataset: str,
+    setting: str,
+    scale: ExperimentScale,
+    num_lambdas: int = 8,
+    seed: int = 0,
+) -> dict:
+    """Fig. 4: accuracy and cluster count versus clustering threshold λ.
+
+    The λ grid is derived from the round-0 dendrogram's merge heights
+    (midpoints between consecutive heights plus the two extremes), so each
+    grid point lands in a distinct cluster-count regime — from pure
+    personalization (every client its own cluster) to pure globalization
+    (one cluster, FedAvg-like).
+    """
+    fed = make_federation(dataset, setting, scale, seed=seed)
+    model_fn = make_model_fn(dataset, fed, scale)
+    cfg = scale.fl_config().with_extra(
+        **{**method_extras("fedclust", dataset, scale), "target_clusters": None}
+    )
+    from repro.core.fedclust import FedClust
+
+    probe = FedClust(fed, model_fn, cfg.with_extra(lam=0.0), seed=seed)
+    probe.setup()
+    heights = np.sort(probe.dendrogram.heights())
+    grid = [0.0]
+    grid += [float((a + b) / 2.0) for a, b in zip(heights, heights[1:])]
+    grid.append(float(heights[-1] * 1.1))
+    if len(grid) > num_lambdas:
+        idx = np.linspace(0, len(grid) - 1, num_lambdas).astype(int)
+        grid = [grid[i] for i in idx]
+
+    lams, n_clusters, accs = [], [], []
+    for lam in grid:
+        result = run_cell(
+            dataset, "fedclust", setting, scale, seed=seed,
+            extra_overrides={"lam": lam, "target_clusters": None},
+        )
+        lams.append(lam)
+        n_clusters.append(int(result.algorithm.num_clusters))
+        accs.append(100.0 * result.final_accuracy)
+    return {
+        "dataset": dataset,
+        "setting": setting,
+        "lambda": np.array(lams),
+        "num_clusters": np.array(n_clusters),
+        "accuracy": np.array(accs),
+    }

@@ -1,0 +1,101 @@
+"""Plain-text renderers that print the same rows the paper's tables report."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "format_accuracy_table",
+    "format_scalar_table",
+    "format_figure4",
+    "format_figure1",
+    "format_curves",
+]
+
+_MISSING = "-- --"
+
+
+def _row(label: str, cells: list[str], widths: list[int]) -> str:
+    parts = [label.ljust(widths[0])]
+    parts += [c.rjust(w) for c, w in zip(cells, widths[1:])]
+    return "  ".join(parts)
+
+
+def format_accuracy_table(table: dict, title: str = "") -> str:
+    """Render a Tables-1/2/3 result: ``mean ± std`` accuracy per cell."""
+    datasets = table["datasets"]
+    methods = list(table["cells"].keys())
+    widths = [max(len(m) for m in methods + ["Method"])] + [14] * len(datasets)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(_row("Method", [d.upper() for d in datasets], widths))
+    lines.append("-" * (sum(widths) + 2 * len(widths)))
+    for m in methods:
+        cells = []
+        for d in datasets:
+            mean, std = table["cells"][m][d]
+            cells.append(f"{mean:.2f} ±{std:.2f}")
+        lines.append(_row(m, cells, widths))
+    return "\n".join(lines)
+
+
+def format_scalar_table(table: dict, title: str = "", fmt: str = "{:.2f}") -> str:
+    """Render Tables 4/5: scalar (or missing) entries, with target rows."""
+    datasets = table["datasets"]
+    methods = list(table["cells"].keys())
+    widths = [max(len(m) for m in methods + ["Method"])] + [12] * len(datasets)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(_row("Method", [d.upper() for d in datasets], widths))
+    if "targets" in table:
+        targets = [f"{100 * table['targets'][d]:.1f}%" for d in datasets]
+        lines.append(_row("Target", targets, widths))
+    lines.append("-" * (sum(widths) + 2 * len(widths)))
+    for m in methods:
+        cells = []
+        for d in datasets:
+            v = table["cells"][m][d]
+            cells.append(_MISSING if v is None else fmt.format(v))
+        lines.append(_row(m, cells, widths))
+    return "\n".join(lines)
+
+
+def format_figure1(result: dict, title: str = "Figure 1") -> str:
+    """Render the per-layer contrast/ARI summary of the Fig.-1 study."""
+    lines = [title, f"{'param layer':>12}  {'contrast':>9}  {'ARI vs groups':>13}"]
+    for layer_idx, info in sorted(result["layers"].items()):
+        lines.append(
+            f"{layer_idx + 1:>12}  {info['contrast']:>9.3f}  {info['ari_vs_groups']:>13.3f}"
+        )
+    return "\n".join(lines)
+
+
+def format_figure4(result: dict, title: str = "Figure 4") -> str:
+    """Render the λ sweep: one row per λ with cluster count and accuracy."""
+    lines = [
+        f"{title} — {result['dataset']} / {result['setting']}",
+        f"{'lambda':>10}  {'#clusters':>9}  {'accuracy %':>10}",
+    ]
+    for lam, k, acc in zip(result["lambda"], result["num_clusters"], result["accuracy"]):
+        lines.append(f"{lam:>10.4f}  {k:>9d}  {acc:>10.2f}")
+    return "\n".join(lines)
+
+
+def format_curves(fig3: dict, dataset: str, every: int = 1) -> str:
+    """Render one dataset's Fig.-3 accuracy curves as aligned columns."""
+    curves = fig3["curves"][dataset]
+    methods = list(curves.keys())
+    rounds = curves[methods[0]]["rounds"][::every]
+    widths = [6] + [max(len(m), 7) for m in methods]
+    lines = [f"Fig.3 — {dataset} ({fig3['setting']})"]
+    header = ["round"] + methods
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    for i, r in enumerate(rounds):
+        cells = [str(int(r)).rjust(widths[0])]
+        for m, w in zip(methods, widths[1:]):
+            acc = curves[m]["accuracy_mean"][::every][i]
+            cells.append(f"{acc:.1f}".rjust(w))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Experiment runner: one cell = (dataset, method, setting, scale, seed)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms import build_algorithm
+from repro.experiments.configs import (
+    ExperimentScale,
+    make_federation,
+    make_model_fn,
+    method_extras,
+)
+from repro.fl.history import History
+
+__all__ = ["CellResult", "run_cell", "run_methods"]
+
+
+@dataclass
+class CellResult:
+    """One completed federation plus its identity."""
+
+    dataset: str
+    method: str
+    setting: str
+    seed: int
+    history: History
+    algorithm: object
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.history.final_accuracy()
+
+
+def run_cell(
+    dataset: str,
+    method: str,
+    setting: str,
+    scale: ExperimentScale,
+    seed: int = 0,
+    config_overrides: dict | None = None,
+    extra_overrides: dict | None = None,
+) -> CellResult:
+    """Run one (dataset, method, setting) cell at the given scale."""
+    fed = make_federation(dataset, setting, scale, seed=seed)
+    model_fn = make_model_fn(dataset, fed, scale)
+    cfg = scale.fl_config(**(config_overrides or {}))
+    extras = method_extras(method, dataset, scale)
+    extras.update(extra_overrides or {})
+    if extras:
+        cfg = cfg.with_extra(**extras)
+    algo = build_algorithm(method, fed, model_fn, cfg, seed=seed)
+    history = algo.run()
+    return CellResult(dataset, method, setting, seed, history, algo)
+
+
+def run_methods(
+    dataset: str,
+    methods: list[str],
+    setting: str,
+    scale: ExperimentScale,
+    seeds: tuple[int, ...] = (0,),
+    **kwargs,
+) -> dict[str, list[CellResult]]:
+    """Run several methods (each over ``seeds``) on one dataset/setting."""
+    out: dict[str, list[CellResult]] = {}
+    for method in methods:
+        out[method] = [
+            run_cell(dataset, method, setting, scale, seed=s, **kwargs) for s in seeds
+        ]
+    return out
+
+
+def mean_std(values: list[float]) -> tuple[float, float]:
+    arr = np.asarray(values, dtype=np.float64)
+    return float(arr.mean()), float(arr.std())

@@ -1,0 +1,167 @@
+"""Regeneration harnesses for the paper's Tables 1-6.
+
+Each function reproduces one table's rows at a configurable scale and
+returns a structured result; :mod:`repro.experiments.reporting` renders the
+same rows the paper prints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.newcomer import incorporate_newcomers
+from repro.experiments.configs import (
+    ALL_METHODS,
+    ExperimentScale,
+    make_federation,
+    make_model_fn,
+    method_extras,
+)
+from repro.experiments.runner import mean_std, run_cell, run_methods
+
+__all__ = [
+    "table_accuracy",
+    "table_rounds_to_target",
+    "table_comm_cost",
+    "table_newcomers",
+    "DEFAULT_TARGET_FRACTION",
+]
+
+#: Targets in Tables 4/5 are dataset-specific absolute accuracies tuned to
+#: the paper's testbed.  At reproduction scale we set each dataset's target
+#: to this fraction of the best method's final accuracy, which preserves
+#: the question the tables ask ("how fast does each method reach a level
+#: that the strong methods all reach?").
+DEFAULT_TARGET_FRACTION = 0.9
+
+
+def table_accuracy(
+    setting: str,
+    scale: ExperimentScale,
+    datasets: list[str] = ("cifar10", "cifar100", "fmnist", "svhn"),
+    methods: list[str] = tuple(ALL_METHODS),
+    seeds: tuple[int, ...] = (0,),
+) -> dict:
+    """Tables 1-3: final average local test accuracy, mean ± std over seeds.
+
+    ``setting`` picks the heterogeneity regime: ``label_skew_20`` (Table 1),
+    ``label_skew_30`` (Table 2), ``dirichlet_0.1`` (Table 3).
+    """
+    cells: dict[str, dict[str, tuple[float, float]]] = {m: {} for m in methods}
+    results: dict[str, dict[str, list]] = {m: {} for m in methods}
+    for dataset in datasets:
+        by_method = run_methods(dataset, list(methods), setting, scale, seeds=seeds)
+        for method, runs in by_method.items():
+            accs = [100.0 * r.final_accuracy for r in runs]
+            cells[method][dataset] = mean_std(accs)
+            results[method][dataset] = runs
+    return {"setting": setting, "datasets": list(datasets), "cells": cells, "runs": results}
+
+
+def _targets_from_histories(histories_by_method: dict, fraction: float) -> float:
+    best = max(h.final_accuracy() for hs in histories_by_method.values() for h in hs)
+    return fraction * best
+
+
+def table_rounds_to_target(
+    setting: str,
+    scale: ExperimentScale,
+    datasets: list[str] = ("cifar10", "cifar100", "fmnist", "svhn"),
+    methods: list[str] = tuple(ALL_METHODS),
+    target_fraction: float = DEFAULT_TARGET_FRACTION,
+    seeds: tuple[int, ...] = (0,),
+) -> dict:
+    """Table 4: communication rounds needed to reach the target accuracy.
+
+    Entries are ``None`` ("– –" in the paper) when a method never reaches
+    the target within the round budget.
+    """
+    cells: dict[str, dict[str, float | None]] = {m: {} for m in methods}
+    targets: dict[str, float] = {}
+    for dataset in datasets:
+        by_method = run_methods(dataset, list(methods), setting, scale, seeds=seeds)
+        target = _targets_from_histories(
+            {m: [r.history for r in rs] for m, rs in by_method.items()}, target_fraction
+        )
+        targets[dataset] = target
+        for method, runs in by_method.items():
+            vals = [r.history.rounds_to_target(target) for r in runs]
+            reached = [v for v in vals if v is not None]
+            cells[method][dataset] = float(np.mean(reached)) if len(reached) == len(vals) else None
+    return {
+        "setting": setting,
+        "datasets": list(datasets),
+        "targets": targets,
+        "cells": cells,
+    }
+
+
+def table_comm_cost(
+    setting: str,
+    scale: ExperimentScale,
+    datasets: list[str] = ("cifar10", "cifar100", "fmnist", "svhn"),
+    methods: list[str] = tuple(ALL_METHODS),
+    target_fraction: float = DEFAULT_TARGET_FRACTION,
+    seeds: tuple[int, ...] = (0,),
+) -> dict:
+    """Table 5: communication cost (Mb) to reach the target accuracy."""
+    cells: dict[str, dict[str, float | None]] = {m: {} for m in methods}
+    targets: dict[str, float] = {}
+    for dataset in datasets:
+        by_method = run_methods(dataset, list(methods), setting, scale, seeds=seeds)
+        target = _targets_from_histories(
+            {m: [r.history for r in rs] for m, rs in by_method.items()}, target_fraction
+        )
+        targets[dataset] = target
+        for method, runs in by_method.items():
+            vals = [r.history.mb_to_target(target) for r in runs]
+            reached = [v for v in vals if v is not None]
+            cells[method][dataset] = float(np.mean(reached)) if len(reached) == len(vals) else None
+    return {
+        "setting": setting,
+        "datasets": list(datasets),
+        "targets": targets,
+        "cells": cells,
+    }
+
+
+def table_newcomers(
+    setting: str,
+    scale: ExperimentScale,
+    datasets: list[str] = ("cifar10", "cifar100", "fmnist", "svhn"),
+    newcomer_fraction: float = 0.2,
+    personalize_epochs: int = 5,
+    seeds: tuple[int, ...] = (0,),
+) -> dict:
+    """Table 6: average local test accuracy of unseen (newcomer) clients.
+
+    Protocol (paper §5.2): hold out 20% of clients, federate the rest with
+    FedClust, then incorporate each newcomer via Alg. 2 with 5
+    personalization epochs.
+    """
+    cells: dict[str, tuple[float, float]] = {}
+    for dataset in datasets:
+        accs = []
+        for seed in seeds:
+            fed = make_federation(dataset, setting, scale, seed=seed)
+            k = max(1, int(round(newcomer_fraction * fed.num_clients)))
+            base, newcomers = fed.split_newcomers(k)
+            model_fn = make_model_fn(dataset, base, scale)
+            cfg = scale.fl_config().with_extra(
+                **method_extras("fedclust", dataset, scale)
+            )
+            from repro.core.fedclust import FedClust
+
+            algo = FedClust(base, model_fn, cfg, seed=seed)
+            algo.run()
+            results = incorporate_newcomers(
+                algo, newcomers, personalize_epochs=personalize_epochs, seed=seed
+            )
+            accs.append(100.0 * float(np.mean([r.accuracy for r in results])))
+        cells[dataset] = mean_std(accs)
+    return {
+        "setting": setting,
+        "datasets": list(datasets),
+        "cells": {"fedclust": cells},
+        "personalize_epochs": personalize_epochs,
+    }

@@ -1,0 +1,33 @@
+"""Federated-learning simulation engine: clients, server loop, metering."""
+
+from repro.fl.comm import MB, CommTracker
+from repro.fl.config import FLConfig
+from repro.fl.fairness import FairnessReport, fairness_report
+from repro.fl.history import History, RoundRecord
+from repro.fl.sampling import sample_clients
+from repro.fl.server import (
+    ClientUpdate,
+    FederatedAlgorithm,
+    average_states,
+    weighted_average,
+)
+from repro.fl.training import evaluate_accuracy, evaluate_loss, local_sgd, minibatches
+
+__all__ = [
+    "FLConfig",
+    "CommTracker",
+    "MB",
+    "FairnessReport",
+    "fairness_report",
+    "History",
+    "RoundRecord",
+    "sample_clients",
+    "FederatedAlgorithm",
+    "ClientUpdate",
+    "weighted_average",
+    "average_states",
+    "local_sgd",
+    "evaluate_accuracy",
+    "evaluate_loss",
+    "minibatches",
+]

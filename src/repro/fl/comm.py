@@ -1,0 +1,61 @@
+"""Exact communication accounting.
+
+The paper reports communication cost in Mb to reach a target accuracy
+(Table 5).  Every upload and download in the engine is metered here from
+actual array byte sizes, so an algorithm's protocol differences (IFCA
+downloading k cluster models, FedClust's one-shot partial upload, LG's
+partial parameter exchange) show up faithfully.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CommTracker", "MB"]
+
+#: bytes per megabyte (the paper's "Mb" figures are decimal megabytes)
+MB = 1_000_000.0
+
+
+class CommTracker:
+    """Accumulates per-round upload/download byte counts."""
+
+    def __init__(self):
+        self._up: dict[int, int] = {}
+        self._down: dict[int, int] = {}
+
+    def record_upload(self, round_idx: int, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError(f"negative upload size: {nbytes}")
+        self._up[round_idx] = self._up.get(round_idx, 0) + int(nbytes)
+
+    def record_download(self, round_idx: int, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError(f"negative download size: {nbytes}")
+        self._down[round_idx] = self._down.get(round_idx, 0) + int(nbytes)
+
+    def round_bytes(self, round_idx: int) -> tuple[int, int]:
+        return self._up.get(round_idx, 0), self._down.get(round_idx, 0)
+
+    @property
+    def total_up(self) -> int:
+        return sum(self._up.values())
+
+    @property
+    def total_down(self) -> int:
+        return sum(self._down.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_up + self.total_down
+
+    def total_mb(self) -> float:
+        return self.total_bytes / MB
+
+    def cumulative_mb(self, rounds: int) -> np.ndarray:
+        """Cumulative traffic (Mb) after each of rounds ``0..rounds-1``."""
+        per_round = np.array(
+            [self._up.get(r, 0) + self._down.get(r, 0) for r in range(rounds)],
+            dtype=np.float64,
+        )
+        return np.cumsum(per_round) / MB

@@ -1,0 +1,57 @@
+"""Hyper-parameter configuration for federated training runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["FLConfig"]
+
+
+@dataclass(frozen=True)
+class FLConfig:
+    """Federation hyper-parameters (paper §5.1 defaults, scaled).
+
+    The paper trains 100 clients for 200 rounds with 10% sampling, 10 local
+    epochs, batch size 10, SGD.  Those values are expressible here; the
+    library's tests and benches default to smaller, CPU-friendly numbers.
+    """
+
+    rounds: int = 20
+    sample_rate: float = 0.1
+    local_epochs: int = 2
+    batch_size: int = 10
+    lr: float = 0.05
+    momentum: float = 0.5
+    weight_decay: float = 0.0
+    #: evaluate average local test accuracy every ``eval_every`` rounds
+    eval_every: int = 1
+    #: probability that a sampled client drops out before reporting its
+    #: update (paper §4.2: unreliable client communication).  The server
+    #: still pays the download; the upload never happens.
+    dropout_rate: float = 0.0
+    #: algorithm-specific knobs (e.g. FedProx mu, IFCA k, FedClust lambda)
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise ValueError(f"rounds must be >= 1, got {self.rounds}")
+        if not 0.0 < self.sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in (0, 1], got {self.sample_rate}")
+        if self.local_epochs < 1:
+            raise ValueError(f"local_epochs must be >= 1, got {self.local_epochs}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.lr <= 0:
+            raise ValueError(f"lr must be positive, got {self.lr}")
+        if self.eval_every < 1:
+            raise ValueError(f"eval_every must be >= 1, got {self.eval_every}")
+        if not 0.0 <= self.dropout_rate < 1.0:
+            raise ValueError(
+                f"dropout_rate must be in [0, 1), got {self.dropout_rate}"
+            )
+
+    def with_extra(self, **kwargs) -> "FLConfig":
+        """A copy with algorithm-specific knobs merged into ``extra``."""
+        merged = dict(self.extra)
+        merged.update(kwargs)
+        return replace(self, extra=merged)

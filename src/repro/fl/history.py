@@ -1,0 +1,92 @@
+"""Training history: per-round metrics and the paper's derived statistics.
+
+Collects the three quantities the evaluation section reports:
+
+* the accuracy-vs-round curve (Fig. 3);
+* rounds to reach a target accuracy (Table 4);
+* communication Mb to reach a target accuracy (Table 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RoundRecord", "History"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    round: int
+    accuracy: float
+    train_loss: float
+    cumulative_mb: float
+    extras: dict = field(default_factory=dict)
+
+
+class History:
+    """Ordered per-round records plus summary statistics."""
+
+    def __init__(self, algorithm: str = "", dataset: str = ""):
+        self.algorithm = algorithm
+        self.dataset = dataset
+        self.records: list[RoundRecord] = []
+
+    def append(self, record: RoundRecord) -> None:
+        if self.records and record.round <= self.records[-1].round:
+            raise ValueError(
+                f"round {record.round} not after round {self.records[-1].round}"
+            )
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def rounds(self) -> np.ndarray:
+        return np.array([r.round for r in self.records])
+
+    @property
+    def accuracies(self) -> np.ndarray:
+        return np.array([r.accuracy for r in self.records])
+
+    @property
+    def losses(self) -> np.ndarray:
+        return np.array([r.train_loss for r in self.records])
+
+    @property
+    def cumulative_mb(self) -> np.ndarray:
+        return np.array([r.cumulative_mb for r in self.records])
+
+    def final_accuracy(self) -> float:
+        if not self.records:
+            raise ValueError("empty history")
+        return self.records[-1].accuracy
+
+    def best_accuracy(self) -> float:
+        if not self.records:
+            raise ValueError("empty history")
+        return float(self.accuracies.max())
+
+    def rounds_to_target(self, target: float) -> int | None:
+        """First round index at which accuracy >= target (None if never) —
+        Table 4's metric."""
+        hits = np.flatnonzero(self.accuracies >= target)
+        return int(self.rounds[hits[0]]) if hits.size else None
+
+    def mb_to_target(self, target: float) -> float | None:
+        """Cumulative communication (Mb) when the target accuracy is first
+        reached (None if never) — Table 5's metric."""
+        hits = np.flatnonzero(self.accuracies >= target)
+        return float(self.cumulative_mb[hits[0]]) if hits.size else None
+
+    def as_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "rounds": self.rounds.tolist(),
+            "accuracy": self.accuracies.tolist(),
+            "train_loss": self.losses.tolist(),
+            "cumulative_mb": self.cumulative_mb.tolist(),
+        }

@@ -1,0 +1,19 @@
+"""Client sampling (Alg. 1 line 9: ``n = max(R * N, 1)`` random clients)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sample_clients"]
+
+
+def sample_clients(
+    num_clients: int, sample_rate: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Uniformly sample ``max(round(rate * N), 1)`` distinct client ids."""
+    if num_clients <= 0:
+        raise ValueError(f"num_clients must be positive, got {num_clients}")
+    if not 0.0 < sample_rate <= 1.0:
+        raise ValueError(f"sample_rate must be in (0, 1], got {sample_rate}")
+    n = max(int(round(sample_rate * num_clients)), 1)
+    return np.sort(rng.choice(num_clients, size=n, replace=False))

@@ -1,0 +1,268 @@
+"""The federated simulation engine.
+
+One round loop serves all ten algorithms: subclasses override *which model a
+client trains* (``params_for_client``), *how updates combine*
+(``aggregate``), and optionally the client update itself
+(``client_update``).  Communication is metered per transfer from actual
+array byte sizes, and every random draw comes from a named child of the
+run's root seed, so runs are bit-for-bit reproducible.
+
+Round convention (paper Alg. 1): round 0 is the setup round (FedClust's
+one-shot clustering happens there); training rounds are 1..T.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.data.federated import ClientData, FederatedDataset
+from repro.fl.comm import CommTracker
+from repro.fl.config import FLConfig
+from repro.fl.history import History, RoundRecord
+from repro.fl.sampling import sample_clients
+from repro.fl.training import evaluate_accuracy, local_sgd
+from repro.nn.model import Sequential
+from repro.nn.optim import SGD
+from repro.nn.serialization import flatten_params, param_nbytes, unflatten_params
+from repro.utils.rng import RngFactory
+
+__all__ = ["ClientUpdate", "FederatedAlgorithm", "weighted_average", "average_states"]
+
+
+@dataclass
+class ClientUpdate:
+    """What a client ships back to the server after local training."""
+
+    client_id: int
+    params: np.ndarray
+    n_samples: int
+    steps: int
+    loss: float
+    state: dict[str, np.ndarray] = field(default_factory=dict)
+    extras: dict = field(default_factory=dict)
+
+
+def weighted_average(vectors: list[np.ndarray], weights: list[float]) -> np.ndarray:
+    """Sample-size-weighted average of flat parameter vectors (FedAvg rule)."""
+    if not vectors:
+        raise ValueError("nothing to average")
+    if len(vectors) != len(weights):
+        raise ValueError(f"{len(vectors)} vectors vs {len(weights)} weights")
+    w = np.asarray(weights, dtype=np.float64)
+    if (w < 0).any() or w.sum() <= 0:
+        raise ValueError("weights must be non-negative with positive sum")
+    w = w / w.sum()
+    out = np.zeros_like(vectors[0], dtype=np.float64)
+    for v, wi in zip(vectors, w):
+        out += wi * v
+    return out
+
+
+def average_states(
+    states: list[dict[str, np.ndarray]], weights: list[float]
+) -> dict[str, np.ndarray]:
+    """Weighted average of non-trainable buffers (batch-norm stats)."""
+    if not states:
+        return {}
+    w = np.asarray(weights, dtype=np.float64)
+    w = w / w.sum()
+    keys = states[0].keys()
+    out: dict[str, np.ndarray] = {}
+    for key in keys:
+        acc = np.zeros_like(states[0][key], dtype=np.float64)
+        for s, wi in zip(states, w):
+            acc += wi * s[key]
+        out[key] = acc
+    return out
+
+
+class FederatedAlgorithm(ABC):
+    """Abstract federated algorithm over the shared engine."""
+
+    #: registry name; subclasses set this
+    name: str = "base"
+
+    def __init__(
+        self,
+        fed: FederatedDataset,
+        model_fn: Callable[[np.random.Generator], Sequential],
+        config: FLConfig,
+        seed: int = 0,
+    ):
+        self.fed = fed
+        self.config = config
+        self.model_fn = model_fn
+        self.rngs = RngFactory(seed)
+        self.seed = seed
+        # one reusable work model: all parameter movement goes through
+        # flat vectors, so a single instance serves every client/cluster
+        self.model: Sequential = model_fn(self.rngs.make("model_init"))
+        self.model_bytes = param_nbytes(self.model)
+        self.comm = CommTracker()
+        self.history = History(self.name, fed.name)
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # hooks
+    # ------------------------------------------------------------------
+    def setup(self) -> None:
+        """Round-0 work (one-shot clustering, model initialization...)."""
+
+    @abstractmethod
+    def params_for_client(self, client_id: int, round_idx: int) -> np.ndarray:
+        """Flat parameter vector the client downloads this round."""
+
+    @abstractmethod
+    def aggregate(self, round_idx: int, updates: list[ClientUpdate]) -> None:
+        """Fold client updates into server state."""
+
+    def eval_params_for_client(self, client_id: int) -> np.ndarray:
+        """Model evaluated on a client's local test set (defaults to the
+        model it would train)."""
+        return self.params_for_client(client_id, round_idx=-1)
+
+    def eval_state_for_client(self, client_id: int) -> dict[str, np.ndarray]:
+        """Non-trainable buffers paired with the eval model."""
+        return {}
+
+    def state_for_client(self, client_id: int, round_idx: int) -> dict[str, np.ndarray]:
+        return self.eval_state_for_client(client_id)
+
+    def download_bytes(self, client_id: int, round_idx: int) -> int:
+        """Bytes the server sends a selected client this round."""
+        return self.model_bytes
+
+    def upload_bytes(self, client_id: int, round_idx: int) -> int:
+        """Bytes the client sends back this round."""
+        return self.model_bytes
+
+    # ------------------------------------------------------------------
+    # engine
+    # ------------------------------------------------------------------
+    def run(self) -> History:
+        """Execute the federation and return its history."""
+        if self._ran:
+            raise RuntimeError("run() may only be called once per instance")
+        self._ran = True
+        self.setup()
+        cfg = self.config
+        for round_idx in range(1, cfg.rounds + 1):
+            selected = self.select_clients(round_idx)
+            dropout_rng = (
+                self.rngs.make("dropout", round_idx) if cfg.dropout_rate > 0 else None
+            )
+            updates = []
+            for cid in selected:
+                self.comm.record_download(
+                    round_idx, self.download_bytes(int(cid), round_idx)
+                )
+                if dropout_rng is not None and dropout_rng.random() < cfg.dropout_rate:
+                    # Client dropped out after receiving the model (paper
+                    # §4.2): no upload, no contribution to aggregation.
+                    continue
+                update = self.client_update(int(cid), round_idx)
+                self.comm.record_upload(round_idx, self.upload_bytes(int(cid), round_idx))
+                updates.append(update)
+            self.aggregate(round_idx, updates)
+            if round_idx % cfg.eval_every == 0 or round_idx == cfg.rounds:
+                acc = self.evaluate()
+                mean_loss = float(np.mean([u.loss for u in updates])) if updates else 0.0
+                self.history.append(
+                    RoundRecord(
+                        round=round_idx,
+                        accuracy=acc,
+                        train_loss=mean_loss,
+                        cumulative_mb=self.comm.total_mb(),
+                    )
+                )
+        return self.history
+
+    def select_clients(self, round_idx: int) -> np.ndarray:
+        return sample_clients(
+            self.fed.num_clients,
+            self.config.sample_rate,
+            self.rngs.make("sampling", round_idx),
+        )
+
+    def client_update(self, client_id: int, round_idx: int) -> ClientUpdate:
+        """Default client behaviour: local SGD from the assigned model."""
+        params = self.params_for_client(client_id, round_idx)
+        state = self.state_for_client(client_id, round_idx)
+        return self.local_train(client_id, round_idx, params, state)
+
+    def local_train(
+        self,
+        client_id: int,
+        round_idx: int,
+        params: np.ndarray,
+        state: dict[str, np.ndarray] | None = None,
+        prox_center: np.ndarray | None = None,
+        epochs: int | None = None,
+        lr: float | None = None,
+    ) -> ClientUpdate:
+        """Run the standard local-SGD client update and package the result."""
+        cfg = self.config
+        client = self.fed[client_id]
+        unflatten_params(self.model, params)
+        if state:
+            self.model.load_state(state)
+        opt = SGD(
+            self.model,
+            lr=lr if lr is not None else cfg.lr,
+            momentum=cfg.momentum,
+            weight_decay=cfg.weight_decay,
+            prox_mu=float(cfg.extra.get("prox_mu", 0.0)) if prox_center is not None else 0.0,
+        )
+        if prox_center is not None:
+            center = []
+            offset = 0
+            for p in self.model.parameters():
+                center.append(
+                    prox_center[offset : offset + p.size].reshape(p.shape).astype(p.data.dtype)
+                )
+                offset += p.size
+            opt.set_prox_center(center)
+        rng = self.rngs.make(f"client{client_id}.train", round_idx)
+        loss, steps = local_sgd(
+            self.model,
+            opt,
+            client.train_x,
+            client.train_y,
+            epochs=epochs if epochs is not None else cfg.local_epochs,
+            batch_size=cfg.batch_size,
+            rng=rng,
+        )
+        return ClientUpdate(
+            client_id=client_id,
+            params=flatten_params(self.model),
+            n_samples=client.n_train,
+            steps=steps,
+            loss=loss,
+            state={k: v.copy() for k, v in self.model.state().items()},
+        )
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self) -> float:
+        """The paper's headline metric: average local test accuracy over
+        *all* clients (each on its own designated model)."""
+        return float(np.mean(self.per_client_accuracy()))
+
+    def per_client_accuracy(self) -> np.ndarray:
+        accs = np.empty(self.fed.num_clients)
+        for cid in range(self.fed.num_clients):
+            accs[cid] = self.evaluate_client(cid)
+        return accs
+
+    def evaluate_client(self, client_id: int) -> float:
+        client: ClientData = self.fed[client_id]
+        unflatten_params(self.model, self.eval_params_for_client(client_id))
+        state = self.eval_state_for_client(client_id)
+        if state:
+            self.model.load_state(state)
+        return evaluate_accuracy(self.model, client.test_x, client.test_y)

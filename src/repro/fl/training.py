@@ -1,0 +1,67 @@
+"""Local SGD training routines shared by every algorithm's client update."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.losses import softmax_cross_entropy
+from repro.nn.model import Sequential
+from repro.nn.optim import SGD
+
+__all__ = ["local_sgd", "evaluate_accuracy", "evaluate_loss", "minibatches"]
+
+
+def minibatches(
+    n: int, batch_size: int, rng: np.random.Generator
+) -> list[np.ndarray]:
+    """Shuffled minibatch index arrays covering ``0..n-1`` once."""
+    if n <= 0:
+        raise ValueError(f"need at least one sample, got {n}")
+    perm = rng.permutation(n)
+    return [perm[s : s + batch_size] for s in range(0, n, batch_size)]
+
+
+def local_sgd(
+    model: Sequential,
+    opt: SGD,
+    x: np.ndarray,
+    y: np.ndarray,
+    epochs: int,
+    batch_size: int,
+    rng: np.random.Generator,
+) -> tuple[float, int]:
+    """Run ``epochs`` of minibatch SGD on ``(x, y)``.
+
+    Returns ``(mean_loss, num_steps)``; the step count feeds FedNova's
+    normalized aggregation.
+    """
+    total_loss = 0.0
+    steps = 0
+    for _ in range(epochs):
+        for batch in minibatches(len(y), batch_size, rng):
+            model.zero_grad()
+            logits = model.forward(x[batch], train=True)
+            loss, dlogits = softmax_cross_entropy(logits, y[batch])
+            model.backward(dlogits)
+            opt.step()
+            total_loss += loss
+            steps += 1
+    return total_loss / max(steps, 1), steps
+
+
+def evaluate_accuracy(model: Sequential, x: np.ndarray, y: np.ndarray) -> float:
+    """Top-1 accuracy in evaluation mode."""
+    if len(y) == 0:
+        raise ValueError("cannot evaluate on an empty set")
+    logits = model.predict(x)
+    return float((logits.argmax(axis=1) == y).mean())
+
+
+def evaluate_loss(model: Sequential, x: np.ndarray, y: np.ndarray) -> float:
+    """Mean cross-entropy in evaluation mode (used by IFCA's cluster
+    assignment)."""
+    if len(y) == 0:
+        raise ValueError("cannot evaluate on an empty set")
+    logits = model.predict(x)
+    loss, _ = softmax_cross_entropy(logits, y)
+    return loss

@@ -1,0 +1,78 @@
+"""Vectorized im2col / col2im kernels for convolution and pooling.
+
+These are the hot paths of the framework: everything is expressed as fancy
+indexing plus one GEMM, with no Python-level loops over the batch or spatial
+dimensions (per the HPC guides: vectorize, broadcast, reuse buffers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["conv_output_size", "im2col_indices", "im2col", "col2im"]
+
+
+def conv_output_size(size: int, field: int, stride: int, pad: int) -> int:
+    """Spatial output size of a conv/pool along one dimension."""
+    out = (size + 2 * pad - field) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive conv output size: input={size}, field={field}, "
+            f"stride={stride}, pad={pad}"
+        )
+    return out
+
+
+def im2col_indices(
+    x_shape: tuple[int, int, int, int], field_h: int, field_w: int, stride: int, pad: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Index arrays (k, i, j) that gather conv patches from a padded input.
+
+    Returned arrays address a padded ``(N, C, H+2p, W+2p)`` tensor such that
+    ``x_pad[:, k, i, j]`` has shape ``(N, C*fh*fw, out_h*out_w)``.
+    """
+    _, c, h, w = x_shape
+    out_h = conv_output_size(h, field_h, stride, pad)
+    out_w = conv_output_size(w, field_w, stride, pad)
+
+    i0 = np.repeat(np.arange(field_h), field_w)
+    i0 = np.tile(i0, c)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(field_w), field_h * c)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(c), field_h * field_w).reshape(-1, 1)
+    return k, i, j
+
+
+def im2col(x: np.ndarray, field_h: int, field_w: int, stride: int, pad: int) -> np.ndarray:
+    """Unfold ``(N, C, H, W)`` into patch columns ``(C*fh*fw, N*out_h*out_w)``."""
+    if x.ndim != 4:
+        raise ValueError(f"im2col expects NCHW input, got shape {x.shape}")
+    p = pad
+    x_pad = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p)), mode="constant") if p > 0 else x
+    k, i, j = im2col_indices(x.shape, field_h, field_w, stride, pad)
+    cols = x_pad[:, k, i, j]  # (N, C*fh*fw, L)
+    return cols.transpose(1, 2, 0).reshape(field_h * field_w * x.shape[1], -1)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    field_h: int,
+    field_w: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Fold patch columns back into an ``(N, C, H, W)`` gradient (adjoint of im2col)."""
+    n, c, h, w = x_shape
+    p = pad
+    x_pad = np.zeros((n, c, h + 2 * p, w + 2 * p), dtype=cols.dtype)
+    k, i, j = im2col_indices(x_shape, field_h, field_w, stride, pad)
+    cols_reshaped = cols.reshape(c * field_h * field_w, -1, n).transpose(2, 0, 1)
+    # Scatter-add: overlapping patches accumulate.
+    np.add.at(x_pad, (slice(None), k, i, j), cols_reshaped)
+    if p == 0:
+        return x_pad
+    return x_pad[:, :, p:-p, p:-p]

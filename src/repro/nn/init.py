@@ -1,0 +1,32 @@
+"""Weight initialization schemes (He / Xavier), seeded explicitly."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["he_normal", "xavier_uniform", "zeros"]
+
+
+def he_normal(
+    shape: tuple[int, ...], fan_in: int, rng: np.random.Generator, dtype=np.float32
+) -> np.ndarray:
+    """He (Kaiming) normal init — the right scale for ReLU networks."""
+    if fan_in <= 0:
+        raise ValueError(f"fan_in must be positive, got {fan_in}")
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape).astype(dtype)
+
+
+def xavier_uniform(
+    shape: tuple[int, ...], fan_in: int, fan_out: int, rng: np.random.Generator, dtype=np.float32
+) -> np.ndarray:
+    """Glorot uniform init — used for the final classifier layer."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError(f"fans must be positive, got {fan_in}, {fan_out}")
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(dtype)
+
+
+def zeros(shape: tuple[int, ...], dtype=np.float32) -> np.ndarray:
+    """Zero init (biases, batch-norm shifts)."""
+    return np.zeros(shape, dtype=dtype)

@@ -1,0 +1,429 @@
+"""Layers of the NumPy deep-learning framework.
+
+Every layer implements explicit backprop:
+
+* ``forward(x, train)`` returns the activation and caches whatever the
+  backward pass needs;
+* ``backward(dout)`` returns the gradient w.r.t. the input and *accumulates*
+  gradients into its :class:`~repro.nn.parameter.Parameter` objects.
+
+All hot paths are vectorized (im2col + GEMM for convolutions, masked scatter
+for max-pooling); there are no Python loops over batch or spatial dims.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init as _init
+from repro.nn.conv_utils import col2im, conv_output_size, im2col
+from repro.nn.parameter import Parameter
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Conv2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "ReLU",
+    "Dropout",
+    "BatchNorm",
+]
+
+
+class Layer:
+    """Base class: a differentiable module with (possibly empty) parameters."""
+
+    #: True for layers whose Parameters represent a classifier head.  Used by
+    #: partial-weight protocols (FedClust, LG-FedAvg) to find "final" layers.
+    is_classifier_head: bool = False
+
+    def parameters(self) -> list[Parameter]:
+        return []
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def state(self) -> dict[str, np.ndarray]:
+        """Non-trainable buffers (e.g. batch-norm running stats)."""
+        return {}
+
+    def load_state(self, state: dict[str, np.ndarray]) -> None:
+        for key, value in state.items():
+            buf = self.state().get(key)
+            if buf is None:
+                raise KeyError(f"{type(self).__name__} has no buffer {key!r}")
+            np.copyto(buf, value)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x @ W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        dtype=np.float32,
+        name: str = "dense",
+        classifier_head: bool = False,
+    ):
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError(
+                f"Dense needs positive dims, got {in_features} -> {out_features}"
+            )
+        self.in_features = in_features
+        self.out_features = out_features
+        self.is_classifier_head = classifier_head
+        if classifier_head:
+            w = _init.xavier_uniform(
+                (in_features, out_features), in_features, out_features, rng, dtype
+            )
+        else:
+            w = _init.he_normal((in_features, out_features), in_features, rng, dtype)
+        self.w = Parameter(w, f"{name}.w")
+        self.b = Parameter(_init.zeros((out_features,), dtype), f"{name}.b")
+        self._x: np.ndarray | None = None
+
+    def parameters(self) -> list[Parameter]:
+        return [self.w, self.b]
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Dense expected (N, {self.in_features}) input, got {x.shape}"
+            )
+        self._x = x if train else None
+        return x @ self.w.data + self.b.data
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before a training forward pass")
+        self.w.grad += self._x.T @ dout
+        self.b.grad += dout.sum(axis=0)
+        return dout @ self.w.data.T
+
+    def __repr__(self) -> str:
+        return f"Dense({self.in_features}->{self.out_features})"
+
+
+class Conv2d(Layer):
+    """2-D convolution over NCHW input, implemented as im2col + GEMM."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: np.random.Generator,
+        stride: int = 1,
+        pad: int = 0,
+        dtype=np.float32,
+        name: str = "conv",
+    ):
+        if min(in_channels, out_channels, kernel_size, stride) <= 0 or pad < 0:
+            raise ValueError("Conv2d hyper-parameters must be positive (pad >= 0)")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.pad = pad
+        fan_in = in_channels * kernel_size * kernel_size
+        self.w = Parameter(
+            _init.he_normal(
+                (out_channels, in_channels, kernel_size, kernel_size), fan_in, rng, dtype
+            ),
+            f"{name}.w",
+        )
+        self.b = Parameter(_init.zeros((out_channels,), dtype), f"{name}.b")
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple[int, int, int, int] | None = None
+
+    def parameters(self) -> list[Parameter]:
+        return [self.w, self.b]
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2d expected (N, {self.in_channels}, H, W) input, got {x.shape}"
+            )
+        n, _, h, w_in = x.shape
+        k = self.kernel_size
+        out_h = conv_output_size(h, k, self.stride, self.pad)
+        out_w = conv_output_size(w_in, k, self.stride, self.pad)
+        cols = im2col(x, k, k, self.stride, self.pad)  # (C*k*k, N*out_h*out_w)
+        w_mat = self.w.data.reshape(self.out_channels, -1)
+        out = w_mat @ cols + self.b.data[:, None]
+        out = out.reshape(self.out_channels, out_h, out_w, n).transpose(3, 0, 1, 2)
+        if train:
+            self._cols = cols
+            self._x_shape = x.shape
+        else:
+            self._cols = None
+            self._x_shape = None
+        return np.ascontiguousarray(out)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._x_shape is None:
+            raise RuntimeError("backward called before a training forward pass")
+        dout_mat = dout.transpose(1, 2, 3, 0).reshape(self.out_channels, -1)
+        self.b.grad += dout_mat.sum(axis=1)
+        self.w.grad += (dout_mat @ self._cols.T).reshape(self.w.data.shape)
+        w_mat = self.w.data.reshape(self.out_channels, -1)
+        dcols = w_mat.T @ dout_mat
+        k = self.kernel_size
+        return col2im(dcols, self._x_shape, k, k, self.stride, self.pad)
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2d({self.in_channels}->{self.out_channels}, k={self.kernel_size}, "
+            f"s={self.stride}, p={self.pad})"
+        )
+
+
+class MaxPool2d(Layer):
+    """Max pooling; the backward scatters gradients to argmax positions."""
+
+    def __init__(self, size: int = 2, stride: int | None = None):
+        if size <= 0:
+            raise ValueError(f"pool size must be positive, got {size}")
+        self.size = size
+        self.stride = stride if stride is not None else size
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        n, c, h, w = x.shape
+        s, k = self.stride, self.size
+        out_h = conv_output_size(h, k, s, 0)
+        out_w = conv_output_size(w, k, s, 0)
+        # Treat channels as batch so each column is one pooling window.
+        x_resh = x.reshape(n * c, 1, h, w)
+        cols = im2col(x_resh, k, k, s, 0)  # (k*k, n*c*out_h*out_w)
+        argmax = cols.argmax(axis=0)
+        out = cols[argmax, np.arange(cols.shape[1])]
+        out = out.reshape(out_h, out_w, n * c).transpose(2, 0, 1).reshape(n, c, out_h, out_w)
+        if train:
+            self._cache = (x.shape, cols.shape, argmax)
+        else:
+            self._cache = None
+        return np.ascontiguousarray(out)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before a training forward pass")
+        x_shape, cols_shape, argmax = self._cache
+        n, c, h, w = x_shape
+        dcols = np.zeros(cols_shape, dtype=dout.dtype)
+        dout_flat = dout.reshape(n * c, -1).reshape(n * c, dout.shape[2], dout.shape[3])
+        dout_cols = dout_flat.transpose(1, 2, 0).reshape(-1)
+        dcols[argmax, np.arange(cols_shape[1])] = dout_cols
+        dx = col2im(dcols, (n * c, 1, h, w), self.size, self.size, self.stride, 0)
+        return dx.reshape(n, c, h, w)
+
+    def __repr__(self) -> str:
+        return f"MaxPool2d(size={self.size}, stride={self.stride})"
+
+
+class AvgPool2d(Layer):
+    """Average pooling with non-overlapping or strided windows."""
+
+    def __init__(self, size: int = 2, stride: int | None = None):
+        if size <= 0:
+            raise ValueError(f"pool size must be positive, got {size}")
+        self.size = size
+        self.stride = stride if stride is not None else size
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        n, c, h, w = x.shape
+        s, k = self.stride, self.size
+        out_h = conv_output_size(h, k, s, 0)
+        out_w = conv_output_size(w, k, s, 0)
+        x_resh = x.reshape(n * c, 1, h, w)
+        cols = im2col(x_resh, k, k, s, 0)
+        out = cols.mean(axis=0)
+        out = out.reshape(out_h, out_w, n * c).transpose(2, 0, 1).reshape(n, c, out_h, out_w)
+        if train:
+            self._cache = (x.shape, cols.shape)
+        else:
+            self._cache = None
+        return np.ascontiguousarray(out)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before a training forward pass")
+        x_shape, cols_shape = self._cache
+        n, c, h, w = x_shape
+        dout_cols = dout.reshape(n * c, dout.shape[2], dout.shape[3])
+        dout_cols = dout_cols.transpose(1, 2, 0).reshape(1, -1)
+        dcols = np.broadcast_to(dout_cols / (self.size * self.size), cols_shape).copy()
+        dx = col2im(dcols, (n * c, 1, h, w), self.size, self.size, self.stride, 0)
+        return dx.reshape(n, c, h, w)
+
+    def __repr__(self) -> str:
+        return f"AvgPool2d(size={self.size}, stride={self.stride})"
+
+
+class GlobalAvgPool2d(Layer):
+    """Collapse each feature map to its mean: (N,C,H,W) -> (N,C)."""
+
+    def __init__(self):
+        self._hw: tuple[int, int] | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        self._hw = x.shape[2:]
+        return x.mean(axis=(2, 3))
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._hw is None:
+            raise RuntimeError("backward called before a forward pass")
+        h, w = self._hw
+        scale = 1.0 / (h * w)
+        return np.broadcast_to(
+            (dout * scale)[:, :, None, None], (*dout.shape, h, w)
+        ).copy()
+
+
+class Flatten(Layer):
+    """(N, ...) -> (N, prod(...))."""
+
+    def __init__(self):
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before a forward pass")
+        return dout.reshape(self._shape)
+
+
+class ReLU(Layer):
+    """Rectified linear unit; caches the sign mask for the backward pass."""
+
+    def __init__(self):
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        mask = x > 0
+        if train:
+            self._mask = mask
+        return np.where(mask, x, 0.0)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before a training forward pass")
+        return dout * self._mask
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at evaluation time."""
+
+    def __init__(self, p: float, rng: np.random.Generator):
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if not train or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self.rng.random(x.shape) < keep).astype(x.dtype) / keep
+        return x * self._mask
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return dout
+        return dout * self._mask
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"
+
+
+class BatchNorm(Layer):
+    """Batch normalization for 2-D (N,F) or 4-D (N,C,H,W) activations.
+
+    Running statistics are exposed via :meth:`state` so federated averaging
+    can (and does) synchronize them alongside trainable parameters.
+    """
+
+    def __init__(self, num_features: int, momentum: float = 0.9, eps: float = 1e-5,
+                 dtype=np.float32, name: str = "bn"):
+        if num_features <= 0:
+            raise ValueError(f"num_features must be positive, got {num_features}")
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(num_features, dtype=dtype), f"{name}.gamma")
+        self.beta = Parameter(np.zeros(num_features, dtype=dtype), f"{name}.beta")
+        self.running_mean = np.zeros(num_features, dtype=np.float64)
+        self.running_var = np.ones(num_features, dtype=np.float64)
+        self._cache: tuple | None = None
+
+    def parameters(self) -> list[Parameter]:
+        return [self.gamma, self.beta]
+
+    def state(self) -> dict[str, np.ndarray]:
+        return {"running_mean": self.running_mean, "running_var": self.running_var}
+
+    def _reduce_axes(self, x: np.ndarray) -> tuple[int, ...]:
+        if x.ndim == 2:
+            return (0,)
+        if x.ndim == 4:
+            return (0, 2, 3)
+        raise ValueError(f"BatchNorm supports 2-D or 4-D input, got shape {x.shape}")
+
+    def _expand(self, v: np.ndarray, ndim: int) -> np.ndarray:
+        return v.reshape(1, -1) if ndim == 2 else v.reshape(1, -1, 1, 1)
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        axes = self._reduce_axes(x)
+        if train:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            m = self.momentum
+            self.running_mean *= m
+            self.running_mean += (1 - m) * mean.astype(np.float64)
+            self.running_var *= m
+            self.running_var += (1 - m) * var.astype(np.float64)
+        else:
+            mean = self.running_mean.astype(x.dtype)
+            var = self.running_var.astype(x.dtype)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - self._expand(mean, x.ndim)) * self._expand(inv_std, x.ndim)
+        out = self._expand(self.gamma.data, x.ndim) * x_hat + self._expand(self.beta.data, x.ndim)
+        if train:
+            self._cache = (x_hat, inv_std, axes, x.shape)
+        else:
+            self._cache = None
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before a training forward pass")
+        x_hat, inv_std, axes, x_shape = self._cache
+        m = float(np.prod([x_shape[a] for a in axes]))
+        self.gamma.grad += (dout * x_hat).sum(axis=axes)
+        self.beta.grad += dout.sum(axis=axes)
+        g = self._expand(self.gamma.data, dout.ndim)
+        dxhat = dout * g
+        term1 = dxhat
+        term2 = self._expand(dxhat.sum(axis=axes) / m, dout.ndim)
+        term3 = x_hat * self._expand((dxhat * x_hat).sum(axis=axes) / m, dout.ndim)
+        return (term1 - term2 - term3) * self._expand(inv_std.astype(dout.dtype), dout.ndim)
+
+    def __repr__(self) -> str:
+        return f"BatchNorm({self.num_features})"

@@ -1,0 +1,53 @@
+"""Loss functions: each returns ``(loss, dlogits)`` so callers can backprop."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.maths import softmax
+
+__all__ = ["softmax_cross_entropy", "mse_loss", "accuracy"]
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean softmax cross-entropy over a batch of integer labels.
+
+    Returns the scalar loss and the gradient w.r.t. ``logits`` (already
+    divided by batch size, ready to feed into ``model.backward``).
+    """
+    logits = np.asarray(logits)
+    labels = np.asarray(labels).astype(np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"expected (N, classes) logits, got {logits.shape}")
+    if labels.shape != (logits.shape[0],):
+        raise ValueError(
+            f"labels shape {labels.shape} incompatible with logits {logits.shape}"
+        )
+    n = logits.shape[0]
+    probs = softmax(logits, axis=1)
+    eps = np.finfo(np.float64).tiny
+    loss = float(-np.log(probs[np.arange(n), labels] + eps).mean())
+    dlogits = probs
+    dlogits[np.arange(n), labels] -= 1.0
+    dlogits /= n
+    return loss, dlogits.astype(logits.dtype)
+
+
+def mse_loss(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean squared error and its gradient w.r.t. ``pred``."""
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    diff = pred - target
+    loss = float((diff**2).mean())
+    grad = (2.0 / diff.size) * diff
+    return loss, grad
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy of a logits batch."""
+    preds = np.asarray(logits).argmax(axis=1)
+    return float((preds == np.asarray(labels)).mean())

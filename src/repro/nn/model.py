@@ -1,0 +1,153 @@
+"""Model containers: ``Sequential`` chains and residual blocks."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn.layers import Layer
+from repro.nn.parameter import Parameter
+
+__all__ = ["Sequential", "Residual"]
+
+
+class Residual(Layer):
+    """``y = relu(x + body(x))`` residual block (identity shortcut).
+
+    The body must preserve the input shape (as in ResNet-9's residual
+    stages).
+    """
+
+    def __init__(self, *body: Layer):
+        if not body:
+            raise ValueError("Residual block needs at least one body layer")
+        self.body = list(body)
+        self._mask: np.ndarray | None = None
+
+    def parameters(self) -> list[Parameter]:
+        return [p for layer in self.body for p in layer.parameters()]
+
+    def state(self) -> dict[str, np.ndarray]:
+        out: dict[str, np.ndarray] = {}
+        for i, layer in enumerate(self.body):
+            for key, buf in layer.state().items():
+                out[f"body.{i}.{key}"] = buf
+        return out
+
+    def load_state(self, state: dict[str, np.ndarray]) -> None:
+        for key, value in state.items():
+            _, idx, sub = key.split(".", 2)
+            self.body[int(idx)].load_state({sub: value})
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        out = x
+        for layer in self.body:
+            out = layer.forward(out, train)
+        if out.shape != x.shape:
+            raise ValueError(
+                f"Residual body changed shape {x.shape} -> {out.shape}; "
+                "identity shortcut requires shape preservation"
+            )
+        summed = out + x
+        mask = summed > 0
+        if train:
+            self._mask = mask
+        return np.where(mask, summed, 0.0)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before a training forward pass")
+        dsum = dout * self._mask
+        dbody = dsum
+        for layer in reversed(self.body):
+            dbody = layer.backward(dbody)
+        return dbody + dsum
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(layer) for layer in self.body)
+        return f"Residual({inner})"
+
+
+class Sequential:
+    """An ordered chain of layers with whole-model forward/backward.
+
+    This is the model object the rest of the library works with: it exposes
+    parameter iteration, named-layer access for partial-weight protocols, and
+    non-trainable state (batch-norm buffers) for federated synchronization.
+    """
+
+    def __init__(self, *layers: Layer, name: str = "model"):
+        if not layers:
+            raise ValueError("Sequential needs at least one layer")
+        self.layers = list(layers)
+        self.name = name
+
+    # -- structure ---------------------------------------------------------
+    def parameters(self) -> list[Parameter]:
+        return [p for layer in self.layers for p in layer.parameters()]
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def layer_parameters(self) -> list[tuple[int, list[Parameter]]]:
+        """Per-layer parameter lists, ``(layer_index, params)``, skipping
+        parameter-free layers."""
+        out = []
+        for i, layer in enumerate(self.layers):
+            params = layer.parameters()
+            if params:
+                out.append((i, params))
+        return out
+
+    def final_parametric_layer(self) -> Layer:
+        """The last layer that owns parameters (the classifier head for the
+        model-zoo networks).  Used by FedClust's partial-weight selection."""
+        for layer in reversed(self.layers):
+            if layer.parameters():
+                return layer
+        raise ValueError("model has no parametric layers")
+
+    def iter_layers(self) -> Iterator[Layer]:
+        return iter(self.layers)
+
+    # -- compute -----------------------------------------------------------
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, train)
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        grad = dout
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Evaluation-mode forward in batches; returns logits."""
+        outs = []
+        for start in range(0, x.shape[0], batch_size):
+            outs.append(self.forward(x[start : start + batch_size], train=False))
+        return np.concatenate(outs, axis=0)
+
+    # -- state -------------------------------------------------------------
+    def state(self) -> dict[str, np.ndarray]:
+        out: dict[str, np.ndarray] = {}
+        for i, layer in enumerate(self.layers):
+            for key, buf in layer.state().items():
+                out[f"{i}.{key}"] = buf
+        return out
+
+    def load_state(self, state: dict[str, np.ndarray]) -> None:
+        for key, value in state.items():
+            idx, sub = key.split(".", 1)
+            self.layers[int(idx)].load_state({sub: value})
+
+    def __repr__(self) -> str:
+        inner = ",\n  ".join(repr(layer) for layer in self.layers)
+        return f"Sequential({self.name!r},\n  {inner}\n)"

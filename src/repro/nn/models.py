@@ -1,0 +1,214 @@
+"""Model zoo: the architectures the paper evaluates, in scaled NumPy form.
+
+The paper trains LeNet-5 (CIFAR-10 / FMNIST / SVHN), ResNet-9 (CIFAR-100) and
+uses VGG16 for the Fig.-1 motivation study.  We implement the same topologies
+with configurable width so 200-round federations run on CPU; ``width=1.0``
+matches the classic channel counts scaled to the synthetic datasets'
+resolution.
+
+Every builder takes an explicit ``rng`` (or integer seed) so weight
+initialization is reproducible, and marks the classifier head so
+partial-weight protocols (FedClust, LG-FedAvg) can find it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import (
+    BatchNorm,
+    Conv2d,
+    Dense,
+    Flatten,
+    GlobalAvgPool2d,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.model import Residual, Sequential
+from repro.utils.rng import as_generator
+
+__all__ = ["mlp", "lenet5", "resnet9", "vgg_mini", "build_model", "MODEL_BUILDERS"]
+
+
+def _flatten_dim(layers: list, input_shape: tuple[int, int, int], dtype) -> int:
+    """Dry-run the feature extractor to find the flattened feature size."""
+    x = np.zeros((1, *input_shape), dtype=dtype)
+    for layer in layers:
+        x = layer.forward(x, train=False)
+    return int(np.prod(x.shape[1:]))
+
+
+def mlp(
+    num_classes: int,
+    input_shape: tuple[int, int, int] = (3, 16, 16),
+    hidden: int = 64,
+    rng: int | np.random.Generator | None = 0,
+    dtype=np.float32,
+) -> Sequential:
+    """Two-layer perceptron — the cheap model used throughout the test suite."""
+    rng = as_generator(rng)
+    in_dim = int(np.prod(input_shape))
+    return Sequential(
+        Flatten(),
+        Dense(in_dim, hidden, rng, dtype, name="fc1"),
+        ReLU(),
+        Dense(hidden, num_classes, rng, dtype, name="head", classifier_head=True),
+        name="mlp",
+    )
+
+
+def lenet5(
+    num_classes: int,
+    input_shape: tuple[int, int, int] = (3, 16, 16),
+    width: float = 1.0,
+    rng: int | np.random.Generator | None = 0,
+    dtype=np.float32,
+) -> Sequential:
+    """LeNet-5: two conv+pool stages and three fully connected layers."""
+    rng = as_generator(rng)
+    c = input_shape[0]
+    c1 = max(2, int(round(6 * width)))
+    c2 = max(4, int(round(16 * width)))
+    f1 = max(8, int(round(120 * width)))
+    f2 = max(8, int(round(84 * width)))
+    features = [
+        Conv2d(c, c1, 5, rng, pad=2, dtype=dtype, name="conv1"),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(c1, c2, 5, rng, pad=2, dtype=dtype, name="conv2"),
+        ReLU(),
+        MaxPool2d(2),
+        Flatten(),
+    ]
+    flat = _flatten_dim(features, input_shape, dtype)
+    return Sequential(
+        *features,
+        Dense(flat, f1, rng, dtype, name="fc1"),
+        ReLU(),
+        Dense(f1, f2, rng, dtype, name="fc2"),
+        ReLU(),
+        Dense(f2, num_classes, rng, dtype, name="head", classifier_head=True),
+        name="lenet5",
+    )
+
+
+def _conv_block(c_in: int, c_out: int, rng, dtype, name: str, pool: bool = False) -> list:
+    block: list = [
+        Conv2d(c_in, c_out, 3, rng, pad=1, dtype=dtype, name=name),
+        BatchNorm(c_out, dtype=dtype, name=f"{name}.bn"),
+        ReLU(),
+    ]
+    if pool:
+        block.append(MaxPool2d(2))
+    return block
+
+
+def resnet9(
+    num_classes: int,
+    input_shape: tuple[int, int, int] = (3, 16, 16),
+    width: float = 0.25,
+    rng: int | np.random.Generator | None = 0,
+    dtype=np.float32,
+) -> Sequential:
+    """ResNet-9 (prep + 2 residual stages), global-average-pooled head.
+
+    ``width=1.0`` gives the classic 64/128/256/512 channel progression;
+    the default 0.25 is the CPU-scale used in the experiments.
+    """
+    rng = as_generator(rng)
+    c = input_shape[0]
+    w1 = max(4, int(round(64 * width)))
+    w2, w3, w4 = 2 * w1, 4 * w1, 8 * w1
+    layers: list = []
+    layers += _conv_block(c, w1, rng, dtype, "prep")
+    layers += _conv_block(w1, w2, rng, dtype, "stage1", pool=True)
+    layers.append(
+        Residual(
+            *_conv_block(w2, w2, rng, dtype, "res1a"),
+            *_conv_block(w2, w2, rng, dtype, "res1b"),
+        )
+    )
+    layers += _conv_block(w2, w3, rng, dtype, "stage2", pool=True)
+    layers += _conv_block(w3, w4, rng, dtype, "stage3", pool=True)
+    layers.append(
+        Residual(
+            *_conv_block(w4, w4, rng, dtype, "res2a"),
+            *_conv_block(w4, w4, rng, dtype, "res2b"),
+        )
+    )
+    layers.append(GlobalAvgPool2d())
+    layers.append(Dense(w4, num_classes, rng, dtype, name="head", classifier_head=True))
+    return Sequential(*layers, name="resnet9")
+
+
+def vgg_mini(
+    num_classes: int,
+    input_shape: tuple[int, int, int] = (3, 16, 16),
+    width: float = 0.125,
+    rng: int | np.random.Generator | None = 0,
+    dtype=np.float32,
+) -> Sequential:
+    """VGG16 topology (13 conv + 3 FC = 16 parametric layers), scaled.
+
+    Built specifically so the Fig.-1 motivation study can index "layer 1,
+    7, 14, 16" exactly as the paper does on VGG16.
+    """
+    rng = as_generator(rng)
+    c = input_shape[0]
+    base = [64, 64, 128, 128, 256, 256, 256, 512, 512, 512, 512, 512, 512]
+    chans = [max(2, int(round(b * width))) for b in base]
+    # Pool after VGG blocks 2, 4, 7, 10, 13; skip pools the resolution
+    # cannot afford (each halves H and W).
+    pool_after = {1, 3, 6, 9, 12}
+    h = input_shape[1]
+    layers: list = []
+    prev = c
+    pools_budget = 0
+    while h >= 2:
+        h //= 2
+        pools_budget += 1
+    pools_used = 0
+    for i, ch in enumerate(chans):
+        layers.append(Conv2d(prev, ch, 3, rng, pad=1, dtype=dtype, name=f"conv{i + 1}"))
+        layers.append(ReLU())
+        if i in pool_after and pools_used < pools_budget:
+            layers.append(MaxPool2d(2))
+            pools_used += 1
+        prev = ch
+    layers.append(Flatten())
+    flat = _flatten_dim(layers, input_shape, dtype)
+    fc = max(4, int(round(4096 * width * 0.0625)))
+    return Sequential(
+        *layers,
+        Dense(flat, fc, rng, dtype, name="fc14"),
+        ReLU(),
+        Dense(fc, fc, rng, dtype, name="fc15"),
+        ReLU(),
+        Dense(fc, num_classes, rng, dtype, name="head", classifier_head=True),
+        name="vgg_mini",
+    )
+
+
+MODEL_BUILDERS = {
+    "mlp": mlp,
+    "lenet5": lenet5,
+    "resnet9": resnet9,
+    "vgg_mini": vgg_mini,
+}
+
+
+def build_model(
+    name: str,
+    num_classes: int,
+    input_shape: tuple[int, int, int],
+    rng: int | np.random.Generator | None = 0,
+    **kwargs,
+) -> Sequential:
+    """Build a zoo model by name (raises ``KeyError`` with options listed)."""
+    try:
+        builder = MODEL_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(MODEL_BUILDERS)}"
+        ) from None
+    return builder(num_classes, input_shape=input_shape, rng=rng, **kwargs)

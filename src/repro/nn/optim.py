@@ -1,0 +1,160 @@
+"""Optimizers and learning-rate schedules for local client training.
+
+``SGD`` covers everything the paper's experiments need: momentum, weight
+decay, and an optional FedProx proximal term ``(mu/2)||w - w_ref||^2`` folded
+into the gradient, which is how FedProx modifies the client objective.
+``Adam`` and the schedules are library extensions for users training the
+NumPy models outside the federated loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.model import Sequential
+
+__all__ = ["SGD", "Adam", "step_decay", "cosine_schedule"]
+
+
+class SGD:
+    """Stochastic gradient descent with momentum / weight decay / prox term."""
+
+    def __init__(
+        self,
+        model: Sequential,
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        prox_mu: float = 0.0,
+    ):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0 or prox_mu < 0:
+            raise ValueError("weight_decay and prox_mu must be non-negative")
+        self.model = model
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.prox_mu = prox_mu
+        self._velocity = [np.zeros_like(p.data) for p in model.parameters()]
+        self._prox_center: list[np.ndarray] | None = None
+
+    def set_prox_center(self, center: list[np.ndarray] | None) -> None:
+        """Anchor of the proximal term (the global model in FedProx)."""
+        if center is not None:
+            params = self.model.parameters()
+            if len(center) != len(params):
+                raise ValueError(
+                    f"prox center has {len(center)} tensors, model has {len(params)}"
+                )
+            for c, p in zip(center, params):
+                if c.shape != p.shape:
+                    raise ValueError(
+                        f"prox center shape {c.shape} != parameter shape {p.shape}"
+                    )
+        self._prox_center = center
+
+    def step(self) -> None:
+        """Apply one update from the currently accumulated gradients."""
+        params = self.model.parameters()
+        for i, p in enumerate(params):
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.prox_mu and self._prox_center is not None:
+                g = g + self.prox_mu * (p.data - self._prox_center[i])
+            if self.momentum:
+                v = self._velocity[i]
+                v *= self.momentum
+                v += g
+                p.data -= self.lr * v
+            else:
+                p.data -= self.lr * g
+
+    def zero_grad(self) -> None:
+        self.model.zero_grad()
+
+    def reset_state(self) -> None:
+        """Clear momentum buffers (clients restart momentum each round)."""
+        for v in self._velocity:
+            v.fill(0.0)
+
+
+class Adam:
+    """Adam (Kingma & Ba, 2015) with optional decoupled weight decay."""
+
+    def __init__(
+        self,
+        model: Sequential,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must be in [0, 1), got {beta1}, {beta2}")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.model = model
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in model.parameters()]
+        self._v = [np.zeros_like(p.data) for p in model.parameters()]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1**self._t
+        bias2 = 1.0 - b2**self._t
+        for i, p in enumerate(self.model.parameters()):
+            g = p.grad
+            m, v = self._m[i], self._v[i]
+            m *= b1
+            m += (1 - b1) * g
+            v *= b2
+            v += (1 - b2) * g * g
+            update = (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+            if self.weight_decay:
+                update = update + self.weight_decay * p.data
+            p.data -= self.lr * update
+
+    def zero_grad(self) -> None:
+        self.model.zero_grad()
+
+    def reset_state(self) -> None:
+        for m, v in zip(self._m, self._v):
+            m.fill(0.0)
+            v.fill(0.0)
+        self._t = 0
+
+
+def step_decay(base_lr: float, gamma: float, every: int):
+    """LR schedule: multiply by ``gamma`` every ``every`` steps."""
+    if base_lr <= 0 or not 0 < gamma <= 1 or every < 1:
+        raise ValueError("need base_lr > 0, gamma in (0, 1], every >= 1")
+
+    def schedule(step: int) -> float:
+        return base_lr * gamma ** (step // every)
+
+    return schedule
+
+
+def cosine_schedule(base_lr: float, total_steps: int, min_lr: float = 0.0):
+    """Cosine annealing from ``base_lr`` to ``min_lr`` over ``total_steps``."""
+    if base_lr <= 0 or total_steps < 1 or min_lr < 0 or min_lr > base_lr:
+        raise ValueError("need base_lr >= min_lr >= 0 and total_steps >= 1")
+
+    def schedule(step: int) -> float:
+        t = min(max(step, 0), total_steps) / total_steps
+        return min_lr + 0.5 * (base_lr - min_lr) * (1.0 + np.cos(np.pi * t))
+
+    return schedule

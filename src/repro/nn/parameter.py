@@ -1,0 +1,52 @@
+"""Trainable parameter container for the NumPy deep-learning framework."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Parameter"]
+
+
+class Parameter:
+    """A named trainable tensor with an accumulated gradient.
+
+    The framework uses explicit backprop: layers write into ``grad`` during
+    ``backward`` and optimizers read/clear it.  ``data`` and ``grad`` always
+    share dtype and shape.
+    """
+
+    __slots__ = ("name", "data", "grad")
+
+    def __init__(self, data: np.ndarray, name: str = "param"):
+        self.name = name
+        self.data = np.ascontiguousarray(data)
+        self.grad = np.zeros_like(self.data)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes occupied by the value (what a client would transmit)."""
+        return int(self.data.nbytes)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def copy_(self, value: np.ndarray) -> None:
+        """In-place overwrite of the value (keeps optimizer state views valid)."""
+        value = np.asarray(value, dtype=self.data.dtype)
+        if value.shape != self.data.shape:
+            raise ValueError(
+                f"shape mismatch assigning to parameter {self.name!r}: "
+                f"{value.shape} != {self.data.shape}"
+            )
+        np.copyto(self.data, value)
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name!r}, shape={self.data.shape}, dtype={self.data.dtype})"

@@ -1,0 +1,66 @@
+"""Small vectorized math helpers used across subsystems."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "softmax",
+    "pairwise_sq_euclidean",
+    "label_histogram",
+    "emd_heterogeneity",
+]
+
+
+def softmax(z: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    z = np.asarray(z, dtype=np.float64)
+    shifted = z - z.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def pairwise_sq_euclidean(x: np.ndarray, y: np.ndarray | None = None) -> np.ndarray:
+    """Squared Euclidean distances between rows of ``x`` and rows of ``y``.
+
+    Uses the ``|x|^2 + |y|^2 - 2 x.y`` expansion (one GEMM instead of an
+    O(n^2 d) Python loop); clamps tiny negatives produced by cancellation.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"expected 2-D row matrix, got shape {x.shape}")
+    y_arr = x if y is None else np.asarray(y, dtype=np.float64)
+    if y_arr.ndim != 2 or y_arr.shape[1] != x.shape[1]:
+        raise ValueError(
+            f"incompatible shapes for pairwise distance: {x.shape} vs {y_arr.shape}"
+        )
+    x_sq = np.einsum("ij,ij->i", x, x)
+    y_sq = x_sq if y is None else np.einsum("ij,ij->i", y_arr, y_arr)
+    d = x_sq[:, None] + y_sq[None, :] - 2.0 * (x @ y_arr.T)
+    np.maximum(d, 0.0, out=d)
+    if y is None:
+        np.fill_diagonal(d, 0.0)
+    return d
+
+
+def label_histogram(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Normalized label distribution of an integer label vector."""
+    labels = np.asarray(labels)
+    if labels.size == 0:
+        return np.zeros(num_classes, dtype=np.float64)
+    counts = np.bincount(labels.astype(np.int64), minlength=num_classes).astype(np.float64)
+    return counts / counts.sum()
+
+
+def emd_heterogeneity(client_hists: np.ndarray) -> float:
+    """Mean earth-mover-style divergence of client label histograms.
+
+    A scalar heterogeneity index: mean L1 distance between each client's
+    label histogram and the global histogram, in [0, 2].  0 means IID;
+    larger means more label skew.
+    """
+    h = np.asarray(client_hists, dtype=np.float64)
+    if h.ndim != 2:
+        raise ValueError(f"expected (clients, classes) histogram matrix, got {h.shape}")
+    global_hist = h.mean(axis=0)
+    return float(np.abs(h - global_hist[None, :]).sum(axis=1).mean())

@@ -1,0 +1,45 @@
+"""Tests for the command-line interface (python -m repro.experiments)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.__main__ import ARTIFACTS, main, run_artifact
+from repro.experiments import SMOKE_SCALE
+
+
+class TestCLI:
+    def test_figure1_via_main(self, capsys):
+        rc = main(["figure1", "--scale", "smoke"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "ARI" in out
+
+    def test_table1_single_dataset(self, capsys):
+        rc = main(["table1", "--scale", "smoke", "--dataset", "cifar10"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fedclust" in out
+        assert "CIFAR10" in out
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table99"])
+
+    def test_artifact_list_covers_paper(self):
+        # every table (1-6) and figure (1, 3, 4) in the evaluation section
+        assert set(ARTIFACTS) == {
+            "figure1", "table1", "table2", "table3", "figure3",
+            "table4", "table5", "figure4", "table6",
+        }
+
+    def test_run_artifact_unknown_name(self):
+        with pytest.raises(KeyError):
+            run_artifact("table99", SMOKE_SCALE, (0,), ["cifar10"])
+
+    def test_figure4_single_dataset(self, capsys):
+        rc = main(["figure4", "--scale", "smoke", "--dataset", "cifar10"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "lambda" in out

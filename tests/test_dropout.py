@@ -1,0 +1,73 @@
+"""Tests for client-dropout simulation (unreliable clients, paper §4.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import FedAvg, FedClust, FLConfig, build_federated_dataset, make_dataset, mlp
+
+
+@pytest.fixture(scope="module")
+def fed():
+    ds = make_dataset("cifar10", seed=0, n_samples=400, size=8)
+    return build_federated_dataset(ds, "label_skew", num_clients=8, frac_labels=0.3, rng=0)
+
+
+def model_fn_for(fed):
+    return lambda rng: mlp(fed.num_classes, fed.input_shape, hidden=16, rng=rng)
+
+
+class TestDropout:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FLConfig(dropout_rate=1.0)
+        with pytest.raises(ValueError):
+            FLConfig(dropout_rate=-0.1)
+
+    def test_training_survives_heavy_dropout(self, fed):
+        cfg = FLConfig(
+            rounds=4, sample_rate=1.0, local_epochs=1, lr=0.05, dropout_rate=0.7
+        )
+        h = FedAvg(fed, model_fn_for(fed), cfg, seed=0).run()
+        assert len(h) == 4
+        assert np.isfinite(h.accuracies).all()
+
+    def test_dropout_reduces_uploads_not_downloads(self, fed):
+        base_cfg = FLConfig(rounds=4, sample_rate=1.0, local_epochs=1, lr=0.05)
+        drop_cfg = FLConfig(
+            rounds=4, sample_rate=1.0, local_epochs=1, lr=0.05, dropout_rate=0.5
+        )
+        base = FedAvg(fed, model_fn_for(fed), base_cfg, seed=0)
+        drop = FedAvg(fed, model_fn_for(fed), drop_cfg, seed=0)
+        base.run()
+        drop.run()
+        assert drop.comm.total_down == base.comm.total_down
+        assert drop.comm.total_up < base.comm.total_up
+
+    def test_dropout_deterministic(self, fed):
+        cfg = FLConfig(
+            rounds=3, sample_rate=1.0, local_epochs=1, lr=0.05, dropout_rate=0.4
+        )
+        h1 = FedAvg(fed, model_fn_for(fed), cfg, seed=2).run()
+        h2 = FedAvg(fed, model_fn_for(fed), cfg, seed=2).run()
+        np.testing.assert_array_equal(h1.accuracies, h2.accuracies)
+        np.testing.assert_array_equal(h1.cumulative_mb, h2.cumulative_mb)
+
+    def test_fedclust_clusters_survive_dropout(self, fed):
+        """Dropouts have no impact on their cluster's training (paper §4.2:
+        'clients who quit the training have no impact')."""
+        cfg = FLConfig(
+            rounds=4, sample_rate=1.0, local_epochs=1, lr=0.05, dropout_rate=0.5
+        ).with_extra(lam="auto")
+        algo = FedClust(fed, model_fn_for(fed), cfg, seed=0)
+        h = algo.run()
+        assert len(h) == 4
+        assert algo.num_clusters >= 2
+
+    def test_zero_dropout_matches_default(self, fed):
+        cfg0 = FLConfig(rounds=2, sample_rate=0.5, local_epochs=1, lr=0.05)
+        cfg1 = FLConfig(rounds=2, sample_rate=0.5, local_epochs=1, lr=0.05, dropout_rate=0.0)
+        h0 = FedAvg(fed, model_fn_for(fed), cfg0, seed=1).run()
+        h1 = FedAvg(fed, model_fn_for(fed), cfg1, seed=1).run()
+        np.testing.assert_array_equal(h0.accuracies, h1.accuracies)

@@ -1,0 +1,88 @@
+"""Engine-level invariants: algebraic identities the federation must obey."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import FedAvg, FLConfig, build_federated_dataset, make_dataset, mlp
+from repro.fl.server import ClientUpdate, weighted_average
+
+
+@pytest.fixture(scope="module")
+def fed():
+    ds = make_dataset("cifar10", seed=0, n_samples=300, size=8)
+    return build_federated_dataset(ds, "iid", num_clients=4, rng=0)
+
+
+def model_fn_for(fed):
+    return lambda rng: mlp(fed.num_classes, fed.input_shape, hidden=12, rng=rng)
+
+
+class TestAggregationIdentities:
+    def test_single_update_is_identity(self, fed):
+        """FedAvg of one client's params IS that client's params."""
+        algo = FedAvg(fed, model_fn_for(fed), FLConfig(rounds=1), seed=0)
+        algo.setup()
+        v = np.random.default_rng(0).normal(size=algo.global_params.size)
+        algo.aggregate(1, [ClientUpdate(0, v, n_samples=7, steps=1, loss=0.0)])
+        np.testing.assert_allclose(algo.global_params, v)
+
+    def test_equal_weights_is_plain_mean(self, fed):
+        algo = FedAvg(fed, model_fn_for(fed), FLConfig(rounds=1), seed=0)
+        algo.setup()
+        rng = np.random.default_rng(1)
+        vs = [rng.normal(size=algo.global_params.size) for _ in range(3)]
+        algo.aggregate(
+            1, [ClientUpdate(i, v, n_samples=10, steps=1, loss=0.0) for i, v in enumerate(vs)]
+        )
+        np.testing.assert_allclose(algo.global_params, np.mean(vs, axis=0))
+
+    @given(
+        n=st.integers(2, 5),
+        scale=st.floats(0.1, 10.0),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_weight_scale_invariance(self, n, scale, seed):
+        """Scaling all sample counts by a constant cannot change the mean."""
+        rng = np.random.default_rng(seed)
+        vs = [rng.normal(size=6) for _ in range(n)]
+        ws = list(rng.integers(1, 50, size=n).astype(float))
+        a = weighted_average(vs, ws)
+        b = weighted_average(vs, [w * scale for w in ws])
+        np.testing.assert_allclose(a, b, atol=1e-10)
+
+    def test_aggregation_preserves_dimension(self, fed):
+        algo = FedAvg(fed, model_fn_for(fed), FLConfig(rounds=1), seed=0)
+        algo.setup()
+        dim = algo.global_params.size
+        algo.aggregate(
+            1,
+            [ClientUpdate(0, np.zeros(dim), n_samples=3, steps=1, loss=0.0)],
+        )
+        assert algo.global_params.size == dim
+
+
+class TestEvaluationSemantics:
+    def test_evaluate_averages_over_all_clients(self, fed):
+        """The paper's metric covers ALL clients, not just the sampled ones."""
+        algo = FedAvg(fed, model_fn_for(fed), FLConfig(rounds=1, sample_rate=0.25), seed=0)
+        algo.setup()
+        per_client = algo.per_client_accuracy()
+        assert per_client.shape == (fed.num_clients,)
+        assert algo.evaluate() == pytest.approx(per_client.mean())
+
+    def test_eval_does_not_mutate_global(self, fed):
+        algo = FedAvg(fed, model_fn_for(fed), FLConfig(rounds=1), seed=0)
+        algo.setup()
+        before = algo.global_params.copy()
+        algo.evaluate()
+        np.testing.assert_array_equal(algo.global_params, before)
+
+    def test_full_participation_round_uses_everyone(self, fed):
+        algo = FedAvg(fed, model_fn_for(fed), FLConfig(rounds=1, sample_rate=1.0), seed=0)
+        selected = algo.select_clients(1)
+        np.testing.assert_array_equal(selected, np.arange(fed.num_clients))

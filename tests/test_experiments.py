@@ -1,0 +1,188 @@
+"""Tests for the experiment harness (smoke scale: seconds, not minutes)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ALL_METHODS,
+    BENCH_SCALE,
+    NONIID_SETTINGS,
+    PAPER_SCALE,
+    SMOKE_SCALE,
+    block_contrast,
+    figure1,
+    figure3,
+    figure4,
+    format_accuracy_table,
+    format_curves,
+    format_figure1,
+    format_figure4,
+    format_scalar_table,
+    make_federation,
+    make_model_fn,
+    method_extras,
+    run_cell,
+    table_accuracy,
+    table_comm_cost,
+    table_newcomers,
+    table_rounds_to_target,
+)
+
+
+class TestConfigs:
+    def test_paper_scale_matches_paper(self):
+        assert PAPER_SCALE.num_clients == 100
+        assert PAPER_SCALE.rounds == 200
+        assert PAPER_SCALE.sample_rate == 0.1
+        assert PAPER_SCALE.local_epochs == 10
+        assert PAPER_SCALE.batch_size == 10
+
+    def test_fl_config_roundtrip(self):
+        cfg = SMOKE_SCALE.fl_config(rounds=5)
+        assert cfg.rounds == 5
+        assert cfg.batch_size == SMOKE_SCALE.batch_size
+
+    def test_scaled_copy(self):
+        s = SMOKE_SCALE.scaled(rounds=99)
+        assert s.rounds == 99
+        assert SMOKE_SCALE.rounds != 99
+
+    @pytest.mark.parametrize("setting", sorted(NONIID_SETTINGS))
+    def test_make_federation(self, setting):
+        fed = make_federation("cifar10", setting, SMOKE_SCALE, seed=0)
+        assert fed.num_clients == SMOKE_SCALE.num_clients
+        assert fed.heterogeneity() > 0
+
+    def test_label_set_pool_creates_shared_sets(self):
+        fed = make_federation("cifar10", "label_skew_20", SMOKE_SCALE, seed=0)
+        groups = fed.ground_truth_groups()
+        # pool of 3 sets -> at most 3 distinct groups among 6 clients
+        assert groups.max() + 1 <= 3
+
+    def test_model_map(self):
+        fed = make_federation("cifar100", "label_skew_20", SMOKE_SCALE, seed=0)
+        model = make_model_fn("cifar100", fed, SMOKE_SCALE)(np.random.default_rng(0))
+        assert model.name == "resnet9"
+        fed10 = make_federation("cifar10", "label_skew_20", SMOKE_SCALE, seed=0)
+        model10 = make_model_fn("cifar10", fed10, SMOKE_SCALE)(np.random.default_rng(0))
+        assert model10.name == "lenet5"
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_method_extras_well_formed(self, method):
+        extras = method_extras(method, "cifar10", SMOKE_SCALE)
+        assert isinstance(extras, dict)
+
+
+class TestRunner:
+    def test_run_cell_smoke(self):
+        r = run_cell("cifar10", "fedavg", "label_skew_20", SMOKE_SCALE, seed=0)
+        assert r.dataset == "cifar10"
+        assert 0.0 <= r.final_accuracy <= 1.0
+        assert len(r.history) == SMOKE_SCALE.rounds
+
+    def test_run_cell_deterministic(self):
+        a = run_cell("cifar10", "fedclust", "label_skew_20", SMOKE_SCALE, seed=3)
+        b = run_cell("cifar10", "fedclust", "label_skew_20", SMOKE_SCALE, seed=3)
+        np.testing.assert_array_equal(a.history.accuracies, b.history.accuracies)
+
+    def test_overrides_flow_through(self):
+        r = run_cell(
+            "cifar10", "fedclust", "label_skew_20", SMOKE_SCALE, seed=0,
+            config_overrides={"rounds": 2},
+            extra_overrides={"target_clusters": 3, "lam": 1.0},
+        )
+        assert len(r.history) == 2
+        assert r.algorithm.num_clusters == 3
+
+
+class TestTables:
+    def test_table_accuracy_structure(self):
+        tab = table_accuracy(
+            "label_skew_20", SMOKE_SCALE, datasets=["cifar10"],
+            methods=["fedavg", "fedclust"], seeds=(0,),
+        )
+        assert set(tab["cells"]) == {"fedavg", "fedclust"}
+        mean, std = tab["cells"]["fedclust"]["cifar10"]
+        assert 0.0 <= mean <= 100.0 and std == 0.0
+        text = format_accuracy_table(tab, "T")
+        assert "fedclust" in text and "CIFAR10" in text
+
+    def test_table_accuracy_multi_seed_std(self):
+        tab = table_accuracy(
+            "label_skew_20", SMOKE_SCALE, datasets=["cifar10"],
+            methods=["fedavg"], seeds=(0, 1),
+        )
+        _, std = tab["cells"]["fedavg"]["cifar10"]
+        assert std > 0.0
+
+    def test_rounds_and_mb_to_target(self):
+        for fn, key in [(table_rounds_to_target, "targets"), (table_comm_cost, "targets")]:
+            tab = fn(
+                "label_skew_20", SMOKE_SCALE, datasets=["cifar10"],
+                methods=["local", "fedclust"], seeds=(0,),
+            )
+            assert "cifar10" in tab[key]
+            # fedclust reaches a 0.9-of-best target by construction of best
+            assert tab["cells"]["fedclust"]["cifar10"] is not None or (
+                tab["cells"]["local"]["cifar10"] is not None
+            )
+            text = format_scalar_table(tab, "T")
+            assert "Target" in text
+
+    def test_table_newcomers(self):
+        tab = table_newcomers(
+            "label_skew_20", SMOKE_SCALE, datasets=["cifar10"],
+            newcomer_fraction=0.34, personalize_epochs=1, seeds=(0,),
+        )
+        mean, _ = tab["cells"]["fedclust"]["cifar10"]
+        assert 0.0 <= mean <= 100.0
+
+
+class TestFigures:
+    def test_block_contrast(self):
+        d = np.array(
+            [[0, 1, 5, 5], [1, 0, 5, 5], [5, 5, 0, 1], [5, 5, 1, 0]], dtype=float
+        )
+        groups = np.array([0, 0, 1, 1])
+        assert block_contrast(d, groups) == pytest.approx(5.0)
+
+    def test_block_contrast_validation(self):
+        with pytest.raises(ValueError):
+            block_contrast(np.zeros((2, 2)), np.array([0, 1]))
+
+    def test_figure1_smoke(self):
+        r = figure1(
+            num_clients_per_group=2, local_epochs=1, n_samples=200,
+            image_size=8, seed=0, layers=(0, 15),
+        )
+        assert set(r["layers"]) == {0, 15}
+        assert r["num_parametric_layers"] == 16
+        text = format_figure1(r)
+        assert "contrast" in text
+
+    def test_figure1_bad_layer(self):
+        with pytest.raises(ValueError):
+            figure1(num_clients_per_group=2, local_epochs=1, n_samples=200,
+                    image_size=8, layers=(99,))
+
+    def test_figure3_structure(self):
+        fig = figure3(
+            "label_skew_20", SMOKE_SCALE, datasets=["cifar10"],
+            methods=["fedclust", "cfl"], seeds=(0,),
+        )
+        curves = fig["curves"]["cifar10"]
+        assert set(curves) == {"fedclust", "cfl"}
+        assert len(curves["fedclust"]["rounds"]) == SMOKE_SCALE.rounds
+        text = format_curves(fig, "cifar10")
+        assert "round" in text
+
+    def test_figure4_monotone_clusters(self):
+        res = figure4("cifar10", "label_skew_20", SMOKE_SCALE, num_lambdas=4, seed=0)
+        assert (np.diff(res["lambda"]) > 0).all()
+        assert (np.diff(res["num_clusters"]) <= 0).all()
+        assert res["num_clusters"][0] == SMOKE_SCALE.num_clients
+        assert res["num_clusters"][-1] == 1
+        text = format_figure4(res)
+        assert "lambda" in text

@@ -1,0 +1,102 @@
+"""Tests for the extension baselines (SCAFFOLD, FedDyn)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import FLConfig, build_algorithm, build_federated_dataset, make_dataset, mlp
+from repro.algorithms import FedAvg, FedDyn, Scaffold
+
+
+@pytest.fixture(scope="module")
+def fed():
+    ds = make_dataset("cifar10", seed=0, n_samples=400, size=8)
+    return build_federated_dataset(ds, "label_skew", num_clients=8, frac_labels=0.3, rng=0)
+
+
+def model_fn_for(fed):
+    return lambda rng: mlp(fed.num_classes, fed.input_shape, hidden=16, rng=rng)
+
+
+CFG = FLConfig(rounds=3, sample_rate=0.5, local_epochs=1, batch_size=10, lr=0.05)
+
+
+class TestScaffold:
+    def test_registered(self, fed):
+        algo = build_algorithm("scaffold", fed, model_fn_for(fed), CFG, seed=0)
+        assert isinstance(algo, Scaffold)
+
+    def test_runs(self, fed):
+        h = Scaffold(fed, model_fn_for(fed), CFG, seed=0).run()
+        assert len(h) == CFG.rounds
+        assert np.isfinite(h.accuracies).all()
+
+    def test_control_variates_update(self, fed):
+        algo = Scaffold(fed, model_fn_for(fed), CFG, seed=0)
+        algo.run()
+        # after training, at least some client controls are non-zero
+        norms = [np.linalg.norm(c) for c in algo.c_client]
+        assert max(norms) > 0
+        assert np.linalg.norm(algo.c_global) > 0
+
+    def test_double_communication_cost(self, fed):
+        sc = Scaffold(fed, model_fn_for(fed), CFG, seed=0)
+        fa = FedAvg(fed, model_fn_for(fed), CFG, seed=0)
+        sc.run()
+        fa.run()
+        assert sc.comm.total_bytes == 2 * fa.comm.total_bytes
+
+    def test_deterministic(self, fed):
+        h1 = Scaffold(fed, model_fn_for(fed), CFG, seed=4).run()
+        h2 = Scaffold(fed, model_fn_for(fed), CFG, seed=4).run()
+        np.testing.assert_array_equal(h1.accuracies, h2.accuracies)
+
+    def test_zero_controls_first_round_matches_sgd_direction(self, fed):
+        """With all controls zero, the first client update is plain SGD."""
+        algo = Scaffold(fed, model_fn_for(fed), CFG, seed=0)
+        algo.setup()
+        u = algo.client_update(0, 1)
+        assert np.isfinite(u.params).all()
+        assert u.steps > 0
+
+
+class TestFedDyn:
+    def test_registered(self, fed):
+        algo = build_algorithm("feddyn", fed, model_fn_for(fed), CFG, seed=0)
+        assert isinstance(algo, FedDyn)
+
+    def test_runs(self, fed):
+        h = FedDyn(fed, model_fn_for(fed), CFG, seed=0).run()
+        assert len(h) == CFG.rounds
+        assert np.isfinite(h.accuracies).all()
+
+    def test_alpha_validation(self, fed):
+        with pytest.raises(ValueError):
+            FedDyn(fed, model_fn_for(fed), CFG.with_extra(feddyn_alpha=-1.0), seed=0)
+
+    def test_server_correction_accumulates(self, fed):
+        algo = FedDyn(fed, model_fn_for(fed), CFG, seed=0)
+        algo.run()
+        assert np.linalg.norm(algo.h) > 0
+
+    def test_prev_grad_tracks_participants(self, fed):
+        algo = FedDyn(fed, model_fn_for(fed), CFG, seed=0)
+        algo.run()
+        norms = [np.linalg.norm(g) for g in algo.prev_grad]
+        assert max(norms) > 0
+
+    def test_deterministic(self, fed):
+        h1 = FedDyn(fed, model_fn_for(fed), CFG, seed=4).run()
+        h2 = FedDyn(fed, model_fn_for(fed), CFG, seed=4).run()
+        np.testing.assert_array_equal(h1.accuracies, h2.accuracies)
+
+
+class TestExtensionsBehaviour:
+    def test_extensions_learn(self, fed):
+        """Both extensions should improve over their starting accuracy on a
+        mild-skew federation given a few rounds."""
+        cfg = FLConfig(rounds=6, sample_rate=1.0, local_epochs=2, batch_size=10, lr=0.1)
+        for cls in (Scaffold, FedDyn):
+            h = cls(fed, model_fn_for(fed), cfg, seed=0).run()
+            assert h.final_accuracy() > 0.3, cls.name

@@ -1,0 +1,61 @@
+"""Tests for per-client fairness statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import FedAvg, FedClust, FLConfig, build_federated_dataset, make_dataset, mlp
+from repro.fl.fairness import FairnessReport, fairness_report
+
+
+@pytest.fixture(scope="module")
+def fed():
+    ds = make_dataset("cifar10", seed=0, n_samples=500, size=8)
+    return build_federated_dataset(
+        ds, "label_skew", num_clients=10, frac_labels=0.2, rng=0, num_label_sets=3
+    )
+
+
+def model_fn_for(fed):
+    return lambda rng: mlp(fed.num_classes, fed.input_shape, hidden=16, rng=rng)
+
+
+class TestFairnessReport:
+    def test_report_fields_consistent(self, fed):
+        cfg = FLConfig(rounds=3, sample_rate=0.5, local_epochs=1, lr=0.05)
+        algo = FedAvg(fed, model_fn_for(fed), cfg, seed=0)
+        algo.run()
+        rep = fairness_report(algo)
+        assert rep.per_client.shape == (fed.num_clients,)
+        assert rep.minimum <= rep.mean <= rep.maximum
+        assert rep.minimum <= rep.bottom_decile <= rep.mean
+        assert 0.0 < rep.jain_index <= 1.0
+        assert rep.mean == pytest.approx(rep.per_client.mean())
+
+    def test_uniform_accuracies_are_fair(self):
+        rep = FairnessReport(
+            mean=0.8, std=0.0, minimum=0.8, maximum=0.8,
+            bottom_decile=0.8, jain_index=1.0, per_client=np.full(5, 0.8),
+        )
+        assert rep.jain_index == 1.0
+
+    def test_jain_detects_inequality(self, fed):
+        """Jain index of a lopsided accuracy vector is well below 1."""
+        accs = np.array([1.0, 1.0, 0.0, 0.0])
+        jain = accs.sum() ** 2 / (accs.size * (accs**2).sum())
+        assert jain == pytest.approx(0.5)
+
+    def test_clustering_tightens_spread_under_skew(self, fed):
+        """Under label skew, FedClust's per-client accuracies should be at
+        least as fair as FedAvg's (a global model sacrifices the clients
+        whose labels it underfits)."""
+        cfg = FLConfig(rounds=5, sample_rate=0.6, local_epochs=2, lr=0.05).with_extra(lam="auto")
+        fa = FedAvg(fed, model_fn_for(fed), cfg, seed=0)
+        fc = FedClust(fed, model_fn_for(fed), cfg, seed=0)
+        fa.run()
+        fc.run()
+        rep_fa = fairness_report(fa)
+        rep_fc = fairness_report(fc)
+        assert rep_fc.mean > rep_fa.mean
+        assert rep_fc.jain_index >= rep_fa.jain_index - 0.02

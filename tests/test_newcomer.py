@@ -1,0 +1,84 @@
+"""Tests for newcomer incorporation (paper Alg. 2 / Table 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    FedClust,
+    FLConfig,
+    build_federated_dataset,
+    incorporate_newcomer,
+    incorporate_newcomers,
+    make_dataset,
+    mlp,
+)
+from repro.data import grouped_label_partition
+
+
+@pytest.fixture(scope="module")
+def trained_federation():
+    """A finished 2-group FedClust federation plus held-out newcomers."""
+    ds = make_dataset("cifar10", seed=0, n_samples=800, size=8)
+    fed = grouped_label_partition(ds, [[0, 1, 2, 3, 4], [5, 6, 7, 8, 9]], 6, rng=0)
+    base, newcomers = fed.split_newcomers(2)  # last 2 clients of group 2
+    cfg = FLConfig(rounds=4, sample_rate=1.0, local_epochs=2, lr=0.1).with_extra(lam=1e9)
+    model_fn = lambda rng: mlp(fed.num_classes, fed.input_shape, hidden=24, rng=rng)
+    algo = FedClust(base, model_fn, cfg, seed=0)
+    # force exactly two clusters by cutting the dendrogram at k=2
+    algo.setup()
+    algo.init_clusters(algo.dendrogram.cut_k(2))
+    partials = np.stack(
+        [algo.client_partial_weights(cid) for cid in range(base.num_clients)]
+    )
+    algo.cluster_centroids = np.stack(
+        [partials[algo.cluster_of == g].mean(axis=0) for g in range(algo.num_clusters)]
+    )
+    algo.setup = lambda: None  # already set up; run() must not redo it
+    algo.run()
+    return algo, base, newcomers
+
+
+class TestNewcomer:
+    def test_newcomer_joins_correct_cluster(self, trained_federation):
+        algo, base, newcomers = trained_federation
+        # Newcomers come from group 2 (labels 5-9); find which cluster the
+        # group-2 veterans landed in.
+        truth = base.ground_truth_groups()
+        group2_cluster = int(np.bincount(algo.cluster_of[truth == 1]).argmax())
+        res = incorporate_newcomer(algo, newcomers[0], personalize_epochs=2, rng=0)
+        assert res.assigned_cluster == group2_cluster
+
+    def test_accuracy_is_valid(self, trained_federation):
+        algo, _, newcomers = trained_federation
+        res = incorporate_newcomer(algo, newcomers[0], personalize_epochs=2, rng=0)
+        assert 0.0 <= res.accuracy <= 1.0
+
+    def test_batch_incorporation(self, trained_federation):
+        algo, _, newcomers = trained_federation
+        results = incorporate_newcomers(algo, newcomers, personalize_epochs=1, seed=0)
+        assert len(results) == 2
+        assert all(0.0 <= r.accuracy <= 1.0 for r in results)
+
+    def test_deterministic(self, trained_federation):
+        algo, _, newcomers = trained_federation
+        a = incorporate_newcomer(algo, newcomers[0], personalize_epochs=1, rng=5)
+        b = incorporate_newcomer(algo, newcomers[0], personalize_epochs=1, rng=5)
+        assert a.accuracy == b.accuracy
+        assert a.assigned_cluster == b.assigned_cluster
+
+    def test_requires_setup(self):
+        ds = make_dataset("cifar10", seed=0, n_samples=200, size=8)
+        fed = build_federated_dataset(ds, "iid", 4, rng=0)
+        model_fn = lambda rng: mlp(10, fed.input_shape, hidden=8, rng=rng)
+        algo = FedClust(fed, model_fn, FLConfig(rounds=1).with_extra(lam=1.0), seed=0)
+        with pytest.raises(RuntimeError):
+            incorporate_newcomer(algo, fed[0])
+
+    def test_personalization_helps(self, trained_federation):
+        """5 personalization epochs should not hurt vs 0 epochs (usually help)."""
+        algo, _, newcomers = trained_federation
+        r0 = incorporate_newcomer(algo, newcomers[1], personalize_epochs=0, rng=0)
+        r5 = incorporate_newcomer(algo, newcomers[1], personalize_epochs=5, rng=0)
+        assert r5.accuracy >= r0.accuracy - 0.15  # allow small noise

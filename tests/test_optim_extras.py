@@ -1,0 +1,112 @@
+"""Tests for Adam and the learning-rate schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Adam, Dense, ReLU, Sequential, cosine_schedule, softmax_cross_entropy, step_decay
+
+
+def tiny_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        Dense(2, 16, rng, dtype=np.float64),
+        ReLU(),
+        Dense(16, 3, rng, dtype=np.float64, classifier_head=True),
+    )
+
+
+class TestAdam:
+    def test_first_step_magnitude_is_lr(self):
+        """Adam's first step has magnitude ~lr regardless of grad scale."""
+        m = tiny_model()
+        opt = Adam(m, lr=0.01)
+        p = m.parameters()[0]
+        before = p.data.copy()
+        p.grad[:] = 1e6  # huge gradient
+        opt.step()
+        np.testing.assert_allclose(np.abs(p.data - before), 0.01, rtol=1e-5)
+
+    def test_learns_blobs(self):
+        rng = np.random.default_rng(0)
+        x = np.concatenate(
+            [rng.normal(c, 0.4, size=(40, 2)) for c in [(3, 0), (-3, 0), (0, 3)]]
+        )
+        y = np.repeat(np.arange(3), 40)
+        m = tiny_model()
+        opt = Adam(m, lr=0.05)
+        for _ in range(80):
+            m.zero_grad()
+            loss, d = softmax_cross_entropy(m.forward(x, train=True), y)
+            m.backward(d)
+            opt.step()
+        acc = (m.predict(x).argmax(axis=1) == y).mean()
+        assert acc > 0.95
+
+    def test_weight_decay_shrinks(self):
+        m = tiny_model()
+        opt = Adam(m, lr=0.1, weight_decay=0.5)
+        p = m.parameters()[0]
+        p.grad[:] = 0.0
+        before = p.data.copy()
+        opt.step()
+        np.testing.assert_allclose(p.data, before * (1 - 0.1 * 0.5), rtol=1e-9)
+
+    def test_reset_state(self):
+        m = tiny_model()
+        opt = Adam(m, lr=0.1)
+        m.parameters()[0].grad[:] = 1.0
+        opt.step()
+        opt.reset_state()
+        assert opt._t == 0
+        assert all((v == 0).all() for v in opt._v)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"lr": 0}, {"beta1": 1.0}, {"beta2": -0.1}, {"weight_decay": -1}],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            Adam(tiny_model(), **{"lr": 0.1, **kwargs})
+
+
+class TestSchedules:
+    def test_step_decay_values(self):
+        sched = step_decay(1.0, gamma=0.5, every=10)
+        assert sched(0) == 1.0
+        assert sched(9) == 1.0
+        assert sched(10) == 0.5
+        assert sched(25) == 0.25
+
+    def test_cosine_endpoints(self):
+        sched = cosine_schedule(1.0, total_steps=100, min_lr=0.1)
+        assert sched(0) == pytest.approx(1.0)
+        assert sched(100) == pytest.approx(0.1)
+        assert sched(50) == pytest.approx(0.55)
+
+    def test_cosine_clamps_beyond_total(self):
+        sched = cosine_schedule(1.0, total_steps=10)
+        assert sched(1000) == pytest.approx(0.0)
+
+    @given(step=st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_property_cosine_bounded(self, step):
+        sched = cosine_schedule(0.3, total_steps=500, min_lr=0.01)
+        v = sched(step)
+        assert 0.01 - 1e-12 <= v <= 0.3 + 1e-12
+
+    def test_cosine_monotone_decreasing(self):
+        sched = cosine_schedule(1.0, total_steps=50)
+        vals = [sched(s) for s in range(51)]
+        assert all(a >= b - 1e-12 for a, b in zip(vals, vals[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            step_decay(0.0, 0.5, 10)
+        with pytest.raises(ValueError):
+            cosine_schedule(1.0, 0)
+        with pytest.raises(ValueError):
+            cosine_schedule(1.0, 10, min_lr=2.0)

@@ -1,0 +1,87 @@
+"""Unit tests for FedClust's partial-weight selection (paper §4.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.weight_selection import (
+    SELECTION_STRATEGIES,
+    select_weights,
+    selection_nbytes,
+)
+from repro.nn import flatten_params, layer_slices, lenet5, mlp
+
+
+@pytest.fixture
+def model():
+    return lenet5(10, input_shape=(3, 16, 16), rng=0)
+
+
+class TestSelectWeights:
+    def test_final_is_head_weights(self, model):
+        v = select_weights(model, "final")
+        head = model.final_parametric_layer()
+        expected = np.concatenate([p.data.ravel() for p in head.parameters()])
+        np.testing.assert_allclose(v, expected, rtol=1e-6)
+
+    def test_first_is_first_layer(self, model):
+        v = select_weights(model, "first")
+        flat = flatten_params(model)
+        _, first_slice = layer_slices(model)[0]
+        np.testing.assert_allclose(v, flat[first_slice])
+
+    def test_all_is_everything(self, model):
+        v = select_weights(model, "all")
+        np.testing.assert_allclose(v, flatten_params(model))
+
+    def test_last_k_concatenates_tail_layers(self, model):
+        v = select_weights(model, "last_k", k=2)
+        slices = layer_slices(model)
+        flat = flatten_params(model)
+        expected = flat[slices[-2][1].start : slices[-1][1].stop]
+        np.testing.assert_allclose(v, expected)
+
+    def test_last_k_full_model(self, model):
+        k = len(layer_slices(model))
+        v = select_weights(model, "last_k", k=k)
+        np.testing.assert_allclose(v, flatten_params(model))
+
+    def test_last_k_validation(self, model):
+        with pytest.raises(ValueError):
+            select_weights(model, "last_k", k=0)
+        with pytest.raises(ValueError):
+            select_weights(model, "last_k", k=99)
+
+    def test_unknown_strategy(self, model):
+        with pytest.raises(ValueError, match="available"):
+            select_weights(model, "middle")
+
+    def test_strategy_registry_consistent(self, model):
+        for s in SELECTION_STRATEGIES:
+            v = select_weights(model, s, k=2)
+            assert v.ndim == 1 and v.size > 0
+
+
+class TestSelectionBytes:
+    def test_sizes_ordered(self, model):
+        final = selection_nbytes(model, "final")
+        last2 = selection_nbytes(model, "last_k", k=2)
+        everything = selection_nbytes(model, "all")
+        assert final < last2 < everything
+
+    def test_bytes_match_vector_length(self, model):
+        # float32 model: 4 bytes per selected weight
+        v = select_weights(model, "final")
+        assert selection_nbytes(model, "final") == v.size * 4
+
+    def test_final_layer_fraction_is_small(self, model):
+        # The paper's motivation: the classifier head is a tiny fraction of
+        # the model (VGG16: head is <1%; LeNet-5 here: well under half).
+        frac = selection_nbytes(model, "final") / selection_nbytes(model, "all")
+        assert frac < 0.25
+
+    def test_mlp_head_selection(self):
+        m = mlp(5, input_shape=(1, 4, 4), hidden=8, rng=0)
+        v = select_weights(m, "final")
+        assert v.size == 8 * 5 + 5
