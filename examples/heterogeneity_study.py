@@ -12,7 +12,12 @@ Dirichlet skew) and compares one representative of each family:
 This reproduces the paper's motivating argument (§1, §3.2) as a runnable
 script.
 
-Run:  python examples/heterogeneity_study.py
+Run (from the repo root; ``repro`` lives under ``src/``):
+
+    PYTHONPATH=src python examples/heterogeneity_study.py
+
+New here?  Start with ``README.md``'s Quickstart and
+``examples/quickstart.py`` first.
 """
 
 from __future__ import annotations

@@ -8,7 +8,12 @@ per-client data, so pure personalization underfits, pure globalization
 suffers client drift, and the true 2-cluster structure wins — the paper's
 finding that "all clients benefit from some level of globalization".
 
-Run:  python examples/lambda_tradeoff.py
+Run (from the repo root; ``repro`` lives under ``src/``):
+
+    PYTHONPATH=src python examples/lambda_tradeoff.py
+
+New here?  Start with ``README.md``'s Quickstart and
+``examples/quickstart.py`` first.
 """
 
 from __future__ import annotations

@@ -6,7 +6,12 @@ then incorporates the newcomers: each trains θ⁰ briefly, uploads only its
 final-layer weights, and is routed to the nearest cluster centroid — no
 re-clustering, no extra rounds for the veterans.
 
-Run:  python examples/newcomer_integration.py
+Run (from the repo root; ``repro`` lives under ``src/``):
+
+    PYTHONPATH=src python examples/newcomer_integration.py
+
+New here?  Start with ``README.md``'s Quickstart and
+``examples/quickstart.py`` first.
 """
 
 from __future__ import annotations

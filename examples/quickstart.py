@@ -5,7 +5,12 @@ Builds a synthetic CIFAR-10 stand-in, partitions it across 20 clients with
 the data-driven λ, and prints the accuracy curve, the discovered clusters,
 and the communication bill — alongside a FedAvg run for contrast.
 
-Run:  python examples/quickstart.py
+Run (from the repo root; ``repro`` lives under ``src/``):
+
+    PYTHONPATH=src python examples/quickstart.py
+
+This is the script behind the README's Quickstart section — see
+``README.md`` for install notes and the full reproduction matrix.
 """
 
 from __future__ import annotations

@@ -17,9 +17,8 @@ import numpy as np
 
 from repro.algorithms.global_baselines import FedAvg
 from repro.fl.server import ClientUpdate
-from repro.fl.training import minibatches
-from repro.nn.losses import softmax_cross_entropy
-from repro.nn.serialization import flatten_grads, unflatten_params
+from repro.fl.training import grad_on_batch, minibatches
+from repro.nn.serialization import unflatten_params
 
 __all__ = ["Scaffold", "FedDyn"]
 
@@ -35,19 +34,14 @@ class Scaffold(FedAvg):
     """
 
     name = "scaffold"
+    exec_state_attrs = FedAvg.exec_state_attrs + ("c_global", "c_client")
+    exec_state_client_attrs = ("c_client",)
 
     def setup(self) -> None:
         super().setup()
         dim = self.global_params.size
         self.c_global = np.zeros(dim)
         self.c_client = [np.zeros(dim) for _ in range(self.fed.num_clients)]
-
-    def _grad(self, x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, float]:
-        self.model.zero_grad()
-        logits = self.model.forward(x, train=True)
-        loss, dlogits = softmax_cross_entropy(logits, y)
-        self.model.backward(dlogits)
-        return flatten_grads(self.model), loss
 
     def client_update(self, client_id: int, round_idx: int) -> ClientUpdate:
         cfg = self.config
@@ -63,18 +57,20 @@ class Scaffold(FedAvg):
         for _ in range(cfg.local_epochs):
             for batch in minibatches(client.n_train, cfg.batch_size, rng):
                 unflatten_params(self.model, params)
-                g, loss = self._grad(client.train_x[batch], client.train_y[batch])
+                g, loss = grad_on_batch(
+                    self.model, client.train_x[batch], client.train_y[batch]
+                )
                 params -= cfg.lr * (g + correction)
                 total_loss += loss
                 steps += 1
-        # Option II control update: c_i+ = c_i - c + (x - y_i) / (K * lr)
+        # Option II control update: c_i+ = c_i - c + (x - y_i) / (K * lr).
+        # The new variate travels back via extras; ``aggregate`` installs it
+        # (client tasks never write server state — execution contract).
         c_new = (
             self.c_client[client_id]
             - self.c_global
             + (x_global - params) / (max(steps, 1) * cfg.lr)
         )
-        delta_c = c_new - self.c_client[client_id]
-        self.c_client[client_id] = c_new
         unflatten_params(self.model, params)
         return ClientUpdate(
             client_id=client_id,
@@ -83,16 +79,23 @@ class Scaffold(FedAvg):
             steps=steps,
             loss=total_loss / max(steps, 1),
             state={k: v.copy() for k, v in self.model.state().items()},
-            extras={"delta_c": delta_c},
+            extras={"c_new": c_new},
         )
 
     def aggregate(self, round_idx: int, updates: list[ClientUpdate]) -> None:
         if not updates:
             return
+        # Install c_i+ exactly as shipped (bitwise the seed's in-client
+        # assignment); the delta for the global variate is recomputed here
+        # from the identical operands, so it matches the client-side value.
+        deltas = []
+        for u in updates:
+            c_new = u.extras["c_new"]
+            deltas.append(c_new - self.c_client[u.client_id])
+            self.c_client[u.client_id] = c_new
         super().aggregate(round_idx, updates)
         frac = len(updates) / self.fed.num_clients
-        mean_delta_c = np.mean([u.extras["delta_c"] for u in updates], axis=0)
-        self.c_global = self.c_global + frac * mean_delta_c
+        self.c_global = self.c_global + frac * np.mean(deltas, axis=0)
 
     def download_bytes(self, client_id: int, round_idx: int) -> int:
         return 2 * self.model_bytes  # model + server control variate
@@ -111,6 +114,8 @@ class FedDyn(FedAvg):
     """
 
     name = "feddyn"
+    exec_state_attrs = FedAvg.exec_state_attrs + ("prev_grad",)
+    exec_state_client_attrs = ("prev_grad",)
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
@@ -123,13 +128,6 @@ class FedDyn(FedAvg):
         dim = self.global_params.size
         self.h = np.zeros(dim)
         self.prev_grad = [np.zeros(dim) for _ in range(self.fed.num_clients)]
-
-    def _grad(self, x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, float]:
-        self.model.zero_grad()
-        logits = self.model.forward(x, train=True)
-        loss, dlogits = softmax_cross_entropy(logits, y)
-        self.model.backward(dlogits)
-        return flatten_grads(self.model), loss
 
     def client_update(self, client_id: int, round_idx: int) -> ClientUpdate:
         cfg = self.config
@@ -144,14 +142,15 @@ class FedDyn(FedAvg):
         for _ in range(cfg.local_epochs):
             for batch in minibatches(client.n_train, cfg.batch_size, rng):
                 unflatten_params(self.model, params)
-                g, loss = self._grad(client.train_x[batch], client.train_y[batch])
+                g, loss = grad_on_batch(
+                    self.model, client.train_x[batch], client.train_y[batch]
+                )
                 g = g - self.prev_grad[client_id] + self.alpha * (params - w_t)
                 params -= cfg.lr * g
                 total_loss += loss
                 steps += 1
-        self.prev_grad[client_id] = self.prev_grad[client_id] - self.alpha * (
-            params - w_t
-        )
+        # The updated linear-term gradient is folded in by ``aggregate``
+        # (client tasks never write server state — execution contract).
         unflatten_params(self.model, params)
         return ClientUpdate(
             client_id=client_id,
@@ -165,6 +164,12 @@ class FedDyn(FedAvg):
     def aggregate(self, round_idx: int, updates: list[ClientUpdate]) -> None:
         if not updates:
             return
+        # prev_grad_i+ = prev_grad_i - alpha * (w_i - w_t); at this point
+        # ``self.global_params`` still holds w_t.
+        for u in updates:
+            self.prev_grad[u.client_id] = self.prev_grad[u.client_id] - self.alpha * (
+                u.params - self.global_params
+            )
         mean_w = np.mean([u.params for u in updates], axis=0)
         self.h = self.h - self.alpha * (mean_w - self.global_params) * (
             len(updates) / self.fed.num_clients

@@ -20,6 +20,10 @@ class FedAvg(FederatedAlgorithm):
     """McMahan et al. (2017): weighted averaging of client models."""
 
     name = "fedavg"
+    exec_state_attrs = FederatedAlgorithm.exec_state_attrs + (
+        "global_params",
+        "global_state",
+    )
 
     def setup(self) -> None:
         self.global_params = flatten_params(self.model)

@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.algorithms.clustered import ClusteredAlgorithm
 from repro.fl.server import ClientUpdate, average_states, weighted_average
-from repro.fl.training import evaluate_loss
+from repro.fl.training import evaluate_accuracy, evaluate_loss
 from repro.nn.serialization import unflatten_params
 
 __all__ = ["IFCA"]
@@ -58,8 +58,9 @@ class IFCA(ClusteredAlgorithm):
         return int(np.argmin(losses))
 
     def client_update(self, client_id: int, round_idx: int) -> ClientUpdate:
+        # Pure w.r.t. server state (execution-backend contract): the chosen
+        # cluster travels back in ``extras`` and is recorded by ``aggregate``.
         j = self._best_cluster(client_id)
-        self.cluster_of[client_id] = j
         update = self.local_train(
             client_id, round_idx, self.cluster_params[j], self.cluster_states[j]
         )
@@ -69,7 +70,9 @@ class IFCA(ClusteredAlgorithm):
     def aggregate(self, round_idx: int, updates: list[ClientUpdate]) -> None:
         by_cluster: dict[int, list[ClientUpdate]] = {}
         for u in updates:
-            by_cluster.setdefault(int(u.extras["cluster"]), []).append(u)
+            gid = int(u.extras["cluster"])
+            self.cluster_of[u.client_id] = gid
+            by_cluster.setdefault(gid, []).append(u)
         for gid, members in by_cluster.items():
             weights = [u.n_samples for u in members]
             self.cluster_params[gid] = weighted_average(
@@ -80,12 +83,47 @@ class IFCA(ClusteredAlgorithm):
                     [u.state for u in members], weights
                 )
 
-    def eval_params_for_client(self, client_id: int) -> np.ndarray:
+    def evaluate_client(self, client_id: int) -> float:
+        return self._evaluate_with_cluster(client_id)[0]
+
+    def _evaluate_with_cluster(self, client_id: int) -> tuple[float, int]:
         # Evaluation mirrors the mechanism: pick the best cluster by local
         # *training* loss (test labels are never used for assignment).
+        # Overridden (rather than composed from eval_params/eval_state) so
+        # the argmin runs once and the method stays pure for backends; the
+        # chosen cluster travels back so per_client_accuracy can record it.
         j = self._best_cluster(client_id)
-        self.cluster_of[client_id] = j
-        return self.cluster_params[j]
+        client = self.fed[client_id]
+        model = self.model
+        unflatten_params(model, self.cluster_params[j])
+        if self.cluster_states[j]:
+            model.load_state(self.cluster_states[j])
+        return evaluate_accuracy(model, client.test_x, client.test_y), j
+
+    def per_client_accuracy(self) -> np.ndarray:
+        """Every client's accuracy, refreshing ``cluster_of`` as it goes.
+
+        IFCA's assignments are implicit (argmin over cluster losses), so
+        each evaluation sweep also updates ``cluster_of`` for *all*
+        clients — including never-sampled ones — on the main thread, from
+        the cluster choices the (possibly parallel) eval tasks report.
+        """
+        results = self._map_clients(
+            "_evaluate_with_cluster",
+            [(cid,) for cid in range(self.fed.num_clients)],
+        )
+        for cid, (_, j) in enumerate(results):
+            self.cluster_of[cid] = j
+        return np.asarray([acc for acc, _ in results], dtype=np.float64)
+
+    def eval_params_for_client(self, client_id: int) -> np.ndarray:
+        """Model evaluated for a client: its best cluster by train loss."""
+        return self.cluster_params[self._best_cluster(client_id)]
+
+    def eval_state_for_client(self, client_id: int) -> dict:
+        """Buffers of the client's best cluster (kept consistent with
+        :meth:`eval_params_for_client` for callers that use the pair)."""
+        return self.cluster_states[self._best_cluster(client_id)]
 
     def download_bytes(self, client_id: int, round_idx: int) -> int:
         # The server ships all k cluster models every round.

@@ -14,9 +14,8 @@ import numpy as np
 
 from repro.algorithms.global_baselines import FedAvg
 from repro.fl.server import ClientUpdate
-from repro.fl.training import evaluate_accuracy, minibatches
-from repro.nn.losses import softmax_cross_entropy
-from repro.nn.serialization import flatten_grads, flatten_params, unflatten_params
+from repro.fl.training import evaluate_accuracy, grad_on_batch, minibatches
+from repro.nn.serialization import flatten_params, unflatten_params
 
 __all__ = ["PerFedAvg"]
 
@@ -35,22 +34,15 @@ class PerFedAvg(FedAvg):
         self.beta = float(self.config.extra.get("beta", self.config.lr))
         self.personalize_epochs = int(self.config.extra.get("personalize_epochs", 1))
 
-    def _grad_on_batch(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
-        self.model.zero_grad()
-        logits = self.model.forward(x, train=True)
-        loss, dlogits = softmax_cross_entropy(logits, y)
-        self.model.backward(dlogits)
-        self._last_loss = loss
-        return flatten_grads(self.model)
-
     def client_update(self, client_id: int, round_idx: int) -> ClientUpdate:
         cfg = self.config
         client = self.fed[client_id]
+        model = self.model
         params = self.params_for_client(client_id, round_idx).copy()
         state = self.state_for_client(client_id, round_idx)
-        unflatten_params(self.model, params)
+        unflatten_params(model, params)
         if state:
-            self.model.load_state(state)
+            model.load_state(state)
         rng = self.rngs.make(f"client{client_id}.train", round_idx)
         x, y = client.train_x, client.train_y
         total_loss, steps = 0.0, 0
@@ -59,40 +51,41 @@ class PerFedAvg(FedAvg):
             # consume batches in pairs: inner step on b1, outer grad on b2
             for k in range(0, len(batches) - 1, 2):
                 b1, b2 = batches[k], batches[k + 1]
-                unflatten_params(self.model, params)
-                g1 = self._grad_on_batch(x[b1], y[b1])
-                unflatten_params(self.model, params - self.alpha * g1)
-                g2 = self._grad_on_batch(x[b2], y[b2])
+                unflatten_params(model, params)
+                g1, _ = grad_on_batch(model, x[b1], y[b1])
+                unflatten_params(model, params - self.alpha * g1)
+                g2, loss = grad_on_batch(model, x[b2], y[b2])
                 params -= self.beta * g2
-                total_loss += self._last_loss
+                total_loss += loss
                 steps += 1
             if len(batches) == 1:  # tiny client: plain step
-                unflatten_params(self.model, params)
-                g1 = self._grad_on_batch(x[batches[0]], y[batches[0]])
+                unflatten_params(model, params)
+                g1, loss = grad_on_batch(model, x[batches[0]], y[batches[0]])
                 params -= self.beta * g1
-                total_loss += self._last_loss
+                total_loss += loss
                 steps += 1
-        unflatten_params(self.model, params)
+        unflatten_params(model, params)
         return ClientUpdate(
             client_id=client_id,
             params=params,
             n_samples=client.n_train,
             steps=max(steps, 1),
             loss=total_loss / max(steps, 1),
-            state={k: v.copy() for k, v in self.model.state().items()},
+            state={k: v.copy() for k, v in model.state().items()},
         )
 
     def evaluate_client(self, client_id: int) -> float:
         """Personalize with a few inner steps, then test locally."""
         client = self.fed[client_id]
+        model = self.model
         params = self.global_params.copy()
-        unflatten_params(self.model, params)
+        unflatten_params(model, params)
         if self.global_state:
-            self.model.load_state(self.global_state)
+            model.load_state(self.global_state)
         rng = self.rngs.make(f"client{client_id}.personalize")
         for _ in range(self.personalize_epochs):
             for batch in minibatches(client.n_train, self.config.batch_size, rng):
-                g = self._grad_on_batch(client.train_x[batch], client.train_y[batch])
+                g, _ = grad_on_batch(model, client.train_x[batch], client.train_y[batch])
                 params -= self.alpha * g
-                unflatten_params(self.model, params)
-        return evaluate_accuracy(self.model, client.test_x, client.test_y)
+                unflatten_params(model, params)
+        return evaluate_accuracy(model, client.test_x, client.test_y)

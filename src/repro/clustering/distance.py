@@ -17,10 +17,33 @@ METRICS = ("euclidean", "sqeuclidean", "cosine")
 
 
 def proximity_matrix(vectors: np.ndarray, metric: str = "euclidean") -> np.ndarray:
-    """Pairwise distance matrix between row vectors.
+    """Pairwise distance matrix between row vectors (paper Eq. 3).
 
-    ``vectors`` is (m, d) — one row per client (e.g. flattened final-layer
-    weights).  Returns a symmetric (m, m) matrix with a zero diagonal.
+    Args:
+        vectors: ``(m, d)`` array — one row per client (e.g. flattened
+            final-layer weights).
+        metric: one of ``METRICS`` — ``"euclidean"`` (the paper's choice),
+            ``"sqeuclidean"``, or ``"cosine"`` (cosine *distance*,
+            ``1 - similarity``, as used by the CFL baseline).
+
+    Returns:
+        A symmetric ``(m, m)`` float64 matrix with a zero diagonal.
+
+    Raises:
+        ValueError: if ``vectors`` is not 2-D or the metric is unknown.
+
+    Examples:
+        >>> import numpy as np
+        >>> v = np.array([[0.0, 0.0], [3.0, 4.0]])
+        >>> proximity_matrix(v)
+        array([[0., 5.],
+               [5., 0.]])
+        >>> proximity_matrix(v, metric="sqeuclidean")
+        array([[ 0., 25.],
+               [25.,  0.]])
+        >>> proximity_matrix(np.array([[1.0, 0.0], [0.0, 2.0]]), "cosine")
+        array([[0., 1.],
+               [1., 0.]])
     """
     v = np.asarray(vectors, dtype=np.float64)
     if v.ndim != 2:

@@ -79,20 +79,44 @@ class FedClust(ClusteredAlgorithm):
     # ------------------------------------------------------------------
     def client_partial_weights(self, client_id: int) -> np.ndarray:
         """One client's round-0 contribution: θ⁰ → local SGD → partial
-        weights (the only thing uploaded)."""
+        weights (the only thing uploaded).
+
+        Pure with respect to server state, so the setup sweep over all
+        clients can run on any execution backend.  Every client starts from
+        θ⁰'s buffers too (``_init_state``), matching Alg. 1 line 3's "the
+        server broadcasts θ⁰" for stateful (batch-norm) models.
+
+        Args:
+            client_id: the warming-up client.
+
+        Returns:
+            The flat partial-weight vector selected by ``self.selection``.
+        """
         update = self.local_train(
-            client_id, round_idx=0, params=self.theta0, epochs=self.warmup_epochs
+            client_id,
+            round_idx=0,
+            params=self.theta0,
+            state=self._init_state,
+            epochs=self.warmup_epochs,
         )
-        unflatten_params(self.model, update.params)
-        return select_weights(self.model, self.selection, self.selection_k)
+        model = self.model
+        unflatten_params(model, update.params)
+        return select_weights(model, self.selection, self.selection_k)
 
     def setup(self) -> None:
+        """Round 0 (Alg. 1 lines 3-7): warm up every client from θ⁰,
+        collect partial weights, cluster, and initialize cluster models.
+
+        The per-client warm-up sweep — the dominant setup cost — runs
+        through the active execution backend.
+        """
         n = self.fed.num_clients
-        partials = []
-        for cid in range(n):
+        for _ in range(n):
             self.comm.record_download(0, self.model_bytes)  # θ⁰ broadcast
-            partials.append(self.client_partial_weights(cid))
             self.comm.record_upload(0, self.partial_bytes)  # partial upload
+        partials = self._map_clients(
+            "client_partial_weights", [(cid,) for cid in range(n)]
+        )
         partial_matrix = np.stack(partials)
         self.proximity = proximity_matrix(partial_matrix, self.metric)
         self.dendrogram = agglomerative(self.proximity, self.linkage)

@@ -26,6 +26,15 @@ __all__ = ["NewcomerResult", "incorporate_newcomer", "incorporate_newcomers"]
 
 @dataclass(frozen=True)
 class NewcomerResult:
+    """Outcome of incorporating one newcomer (Alg. 2).
+
+    Attributes:
+        client_id: the joining client.
+        assigned_cluster: cluster chosen by nearest-centroid assignment.
+        accuracy: local test accuracy after personalization.
+        personalize_epochs: epochs of personalization applied.
+    """
+
     client_id: int
     assigned_cluster: int
     accuracy: float
@@ -38,7 +47,24 @@ def incorporate_newcomer(
     personalize_epochs: int = 5,
     rng: int | np.random.Generator = 0,
 ) -> NewcomerResult:
-    """Run Alg. 2 for one newcomer against a finished FedClust federation."""
+    """Run Alg. 2 for one newcomer against a finished FedClust federation.
+
+    Args:
+        algo: a FedClust instance whose ``setup()`` (and usually ``run()``)
+            has completed — its centroids and cluster models are read, never
+            written.
+        client: the newcomer's local data (train and test splits).
+        personalize_epochs: local fine-tuning epochs on the received
+            cluster model before evaluation (0 = evaluate as received).
+        rng: seed or generator for the newcomer's local training.
+
+    Returns:
+        The :class:`NewcomerResult` (assignment and post-personalization
+        accuracy).
+
+    Raises:
+        RuntimeError: if the federation has not run ``setup()`` yet.
+    """
     if algo.cluster_centroids is None:
         raise RuntimeError("the federation has not run setup(); no clusters exist")
     rng = as_generator(rng)
@@ -81,7 +107,17 @@ def incorporate_newcomers(
     personalize_epochs: int = 5,
     seed: int = 0,
 ) -> list[NewcomerResult]:
-    """Alg. 2 for a batch of newcomers (the Table-6 protocol)."""
+    """Alg. 2 for a batch of newcomers (the Table-6 protocol).
+
+    Args:
+        algo: the finished FedClust federation.
+        newcomers: iterable of :class:`~repro.data.federated.ClientData`.
+        personalize_epochs: forwarded to :func:`incorporate_newcomer`.
+        seed: root seed; each newcomer gets an independent child stream.
+
+    Returns:
+        One :class:`NewcomerResult` per newcomer, in input order.
+    """
     results = []
     for i, client in enumerate(newcomers):
         rng = np.random.default_rng(np.random.SeedSequence([seed, i]))

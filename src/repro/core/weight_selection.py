@@ -38,13 +38,51 @@ def _strategy_slices(model: Sequential, strategy: str, k: int) -> list[slice]:
 
 
 def select_weights(model: Sequential, strategy: str = "final", k: int = 2) -> np.ndarray:
-    """The partial-weight vector a client uploads under ``strategy``."""
+    """The partial-weight vector a client uploads under ``strategy``.
+
+    Args:
+        model: the client's trained model.
+        strategy: one of ``SELECTION_STRATEGIES`` — ``"final"`` (last
+            parametric layer, the paper's choice), ``"first"``, ``"all"``,
+            or ``"last_k"`` (the last ``k`` parametric layers).
+        k: layer count for the ``"last_k"`` strategy (ignored otherwise).
+
+    Returns:
+        A flat float vector of the selected weights+biases, in
+        flatten-order.
+
+    Raises:
+        ValueError: on an unknown strategy or an out-of-range ``k``.
+
+    Examples:
+        A 2-layer MLP with a 2-unit hidden layer and 3 classes has a
+        final (head) layer of 2*3 weights + 3 biases:
+
+        >>> from repro.nn.models import mlp
+        >>> model = mlp(num_classes=3, input_shape=(4,), hidden=2, rng=0)
+        >>> select_weights(model, "final").shape
+        (9,)
+        >>> select_weights(model, "all").size == model.num_parameters()
+        True
+        >>> bool((select_weights(model, "last_k", k=2)
+        ...       == select_weights(model, "all")).all())
+        True
+    """
     flat = flatten_params(model)
     return np.concatenate([flat[s] for s in _strategy_slices(model, strategy, k)])
 
 
 def selection_nbytes(model: Sequential, strategy: str = "final", k: int = 2) -> int:
-    """Bytes on the wire for the partial upload (at the model's dtype)."""
+    """Bytes on the wire for the partial upload (at the model's dtype).
+
+    Args:
+        model: the uploading client's model.
+        strategy: selection strategy (see :func:`select_weights`).
+        k: layer count for ``"last_k"``.
+
+    Returns:
+        Upload size in bytes (element count times parameter itemsize).
+    """
     itemsize = model.parameters()[0].data.itemsize
     n = sum(s.stop - s.start for s in _strategy_slices(model, strategy, k))
     return int(n * itemsize)

@@ -5,13 +5,17 @@ Usage::
     python -m repro.experiments table1 [--scale bench|smoke|paper] [--seeds 0 1 2]
     python -m repro.experiments figure4 --dataset cifar10
     python -m repro.experiments all            # everything, bench scale
+    python -m repro.experiments table1 --backend process --workers 4
 
-Artifacts print to stdout in the paper's row format.
+Artifacts print to stdout in the paper's row format.  ``--backend`` /
+``--workers`` pick the client-execution backend (results are bit-for-bit
+identical across backends; only wall-clock changes).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.experiments import (
@@ -109,15 +113,56 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seeds", type=int, nargs="+", default=[0])
     parser.add_argument("--dataset", choices=DATASETS, action="append",
                         help="restrict to specific datasets (repeatable)")
+    parser.add_argument("--backend", choices=["serial", "thread", "process"],
+                        default=None,
+                        help="client-execution backend (default: serial, or "
+                             "the REPRO_BACKEND environment variable)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker-pool size for thread/process backends "
+                             "(default: min(4, cpu_count))")
     args = parser.parse_args(argv)
+
+    if (
+        args.workers is not None
+        and args.backend is None
+        and os.environ.get("REPRO_BACKEND", "serial").strip().lower()
+        in ("", "serial")
+    ):
+        parser.error(
+            "--workers has no effect on the serial backend; also pass "
+            "--backend thread|process (or set REPRO_BACKEND)"
+        )
+
+    # Every FLConfig built below defaults to backend="auto", which resolves
+    # from these variables — one switch covers tables and figures alike.
+    # Saved and restored so programmatic main() calls don't leak the choice
+    # into later invocations in the same process.
+    saved_env = {
+        key: os.environ.get(key) for key in ("REPRO_BACKEND", "REPRO_WORKERS")
+    }
+    if args.backend is not None:
+        os.environ["REPRO_BACKEND"] = args.backend
+    if args.workers is not None:
+        os.environ["REPRO_WORKERS"] = str(args.workers)
 
     scale = SCALES[args.scale]
     datasets = args.dataset or DATASETS
     names = ARTIFACTS if args.artifact == "all" else [args.artifact]
-    for name in names:
-        print(run_artifact(name, scale, tuple(args.seeds), datasets))
-        print()
+    try:
+        _run_all(names, scale, args.seeds, datasets)
+    finally:
+        for key, value in saved_env.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
     return 0
+
+
+def _run_all(names, scale, seeds, datasets) -> None:
+    for name in names:
+        print(run_artifact(name, scale, tuple(seeds), datasets))
+        print()
 
 
 if __name__ == "__main__":

@@ -58,6 +58,12 @@ class ExperimentScale:
     label_set_pool: int | None = None
 
     def fl_config(self, **overrides) -> FLConfig:
+        """The scale's :class:`~repro.fl.config.FLConfig`.
+
+        Any field can be overridden by keyword — including the
+        client-execution knobs (``backend="process"``, ``workers=4``),
+        which change wall-clock time but never results.
+        """
         base = dict(
             rounds=self.rounds,
             sample_rate=self.sample_rate,

@@ -42,11 +42,36 @@ def run_cell(
     seed: int = 0,
     config_overrides: dict | None = None,
     extra_overrides: dict | None = None,
+    backend: str | None = None,
+    workers: int | None = None,
 ) -> CellResult:
-    """Run one (dataset, method, setting) cell at the given scale."""
+    """Run one (dataset, method, setting) cell at the given scale.
+
+    Args:
+        dataset: dataset key (``cifar10``/``cifar100``/``fmnist``/``svhn``).
+        method: algorithm registry name (see ``repro.algorithms``).
+        setting: heterogeneity setting key (``NONIID_SETTINGS``).
+        scale: size knobs (``PAPER_SCALE``/``BENCH_SCALE``/``SMOKE_SCALE``).
+        seed: root seed reproducing the entire cell bit-for-bit.
+        config_overrides: keyword overrides for the cell's ``FLConfig``.
+        extra_overrides: merged into ``FLConfig.extra`` after the method's
+            defaults.
+        backend: client-execution backend shorthand (equivalent to
+            ``config_overrides={"backend": ...}``); all backends produce
+            identical results.
+        workers: worker-pool size shorthand for thread/process backends.
+
+    Returns:
+        The completed :class:`CellResult`.
+    """
+    overrides = dict(config_overrides or {})
+    if backend is not None:
+        overrides["backend"] = backend
+    if workers is not None:
+        overrides["workers"] = workers
     fed = make_federation(dataset, setting, scale, seed=seed)
     model_fn = make_model_fn(dataset, fed, scale)
-    cfg = scale.fl_config(**(config_overrides or {}))
+    cfg = scale.fl_config(**overrides)
     extras = method_extras(method, dataset, scale)
     extras.update(extra_overrides or {})
     if extras:
@@ -64,7 +89,11 @@ def run_methods(
     seeds: tuple[int, ...] = (0,),
     **kwargs,
 ) -> dict[str, list[CellResult]]:
-    """Run several methods (each over ``seeds``) on one dataset/setting."""
+    """Run several methods (each over ``seeds``) on one dataset/setting.
+
+    Extra keyword arguments (``config_overrides``, ``backend``,
+    ``workers``, ...) are forwarded to :func:`run_cell`.
+    """
     out: dict[str, list[CellResult]] = {}
     for method in methods:
         out[method] = [

@@ -41,16 +41,22 @@ def table_accuracy(
     datasets: list[str] = ("cifar10", "cifar100", "fmnist", "svhn"),
     methods: list[str] = tuple(ALL_METHODS),
     seeds: tuple[int, ...] = (0,),
+    config_overrides: dict | None = None,
 ) -> dict:
     """Tables 1-3: final average local test accuracy, mean ± std over seeds.
 
     ``setting`` picks the heterogeneity regime: ``label_skew_20`` (Table 1),
     ``label_skew_30`` (Table 2), ``dirichlet_0.1`` (Table 3).
+    ``config_overrides`` (e.g. ``{"backend": "process", "workers": 4}``)
+    reach every cell's :class:`~repro.fl.config.FLConfig`.
     """
     cells: dict[str, dict[str, tuple[float, float]]] = {m: {} for m in methods}
     results: dict[str, dict[str, list]] = {m: {} for m in methods}
     for dataset in datasets:
-        by_method = run_methods(dataset, list(methods), setting, scale, seeds=seeds)
+        by_method = run_methods(
+            dataset, list(methods), setting, scale, seeds=seeds,
+            config_overrides=config_overrides,
+        )
         for method, runs in by_method.items():
             accs = [100.0 * r.final_accuracy for r in runs]
             cells[method][dataset] = mean_std(accs)
@@ -70,6 +76,7 @@ def table_rounds_to_target(
     methods: list[str] = tuple(ALL_METHODS),
     target_fraction: float = DEFAULT_TARGET_FRACTION,
     seeds: tuple[int, ...] = (0,),
+    config_overrides: dict | None = None,
 ) -> dict:
     """Table 4: communication rounds needed to reach the target accuracy.
 
@@ -79,7 +86,10 @@ def table_rounds_to_target(
     cells: dict[str, dict[str, float | None]] = {m: {} for m in methods}
     targets: dict[str, float] = {}
     for dataset in datasets:
-        by_method = run_methods(dataset, list(methods), setting, scale, seeds=seeds)
+        by_method = run_methods(
+            dataset, list(methods), setting, scale, seeds=seeds,
+            config_overrides=config_overrides,
+        )
         target = _targets_from_histories(
             {m: [r.history for r in rs] for m, rs in by_method.items()}, target_fraction
         )
@@ -103,12 +113,16 @@ def table_comm_cost(
     methods: list[str] = tuple(ALL_METHODS),
     target_fraction: float = DEFAULT_TARGET_FRACTION,
     seeds: tuple[int, ...] = (0,),
+    config_overrides: dict | None = None,
 ) -> dict:
     """Table 5: communication cost (Mb) to reach the target accuracy."""
     cells: dict[str, dict[str, float | None]] = {m: {} for m in methods}
     targets: dict[str, float] = {}
     for dataset in datasets:
-        by_method = run_methods(dataset, list(methods), setting, scale, seeds=seeds)
+        by_method = run_methods(
+            dataset, list(methods), setting, scale, seeds=seeds,
+            config_overrides=config_overrides,
+        )
         target = _targets_from_histories(
             {m: [r.history for r in rs] for m, rs in by_method.items()}, target_fraction
         )
@@ -132,6 +146,7 @@ def table_newcomers(
     newcomer_fraction: float = 0.2,
     personalize_epochs: int = 5,
     seeds: tuple[int, ...] = (0,),
+    config_overrides: dict | None = None,
 ) -> dict:
     """Table 6: average local test accuracy of unseen (newcomer) clients.
 
@@ -147,7 +162,7 @@ def table_newcomers(
             k = max(1, int(round(newcomer_fraction * fed.num_clients)))
             base, newcomers = fed.split_newcomers(k)
             model_fn = make_model_fn(dataset, base, scale)
-            cfg = scale.fl_config().with_extra(
+            cfg = scale.fl_config(**(config_overrides or {})).with_extra(
                 **method_extras("fedclust", dataset, scale)
             )
             from repro.core.fedclust import FedClust

@@ -2,6 +2,14 @@
 
 from repro.fl.comm import MB, CommTracker
 from repro.fl.config import FLConfig
+from repro.fl.execution import (
+    BACKENDS,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    make_backend,
+)
 from repro.fl.fairness import FairnessReport, fairness_report
 from repro.fl.history import History, RoundRecord
 from repro.fl.sampling import sample_clients
@@ -17,6 +25,12 @@ __all__ = [
     "FLConfig",
     "CommTracker",
     "MB",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "BACKENDS",
+    "make_backend",
     "FairnessReport",
     "fairness_report",
     "History",

@@ -25,31 +25,46 @@ class CommTracker:
         self._down: dict[int, int] = {}
 
     def record_upload(self, round_idx: int, nbytes: int) -> None:
+        """Meter one client→server transfer.
+
+        Args:
+            round_idx: round the transfer belongs to (0 = setup round).
+            nbytes: transfer size in bytes (non-negative).
+
+        Raises:
+            ValueError: on a negative size.
+        """
         if nbytes < 0:
             raise ValueError(f"negative upload size: {nbytes}")
         self._up[round_idx] = self._up.get(round_idx, 0) + int(nbytes)
 
     def record_download(self, round_idx: int, nbytes: int) -> None:
+        """Meter one server→client transfer (see :meth:`record_upload`)."""
         if nbytes < 0:
             raise ValueError(f"negative download size: {nbytes}")
         self._down[round_idx] = self._down.get(round_idx, 0) + int(nbytes)
 
     def round_bytes(self, round_idx: int) -> tuple[int, int]:
+        """``(upload, download)`` byte totals for one round."""
         return self._up.get(round_idx, 0), self._down.get(round_idx, 0)
 
     @property
     def total_up(self) -> int:
+        """All client→server bytes so far."""
         return sum(self._up.values())
 
     @property
     def total_down(self) -> int:
+        """All server→client bytes so far."""
         return sum(self._down.values())
 
     @property
     def total_bytes(self) -> int:
+        """All metered traffic, both directions."""
         return self.total_up + self.total_down
 
     def total_mb(self) -> float:
+        """Total traffic in decimal megabytes (the paper's unit)."""
         return self.total_bytes / MB
 
     def cumulative_mb(self, rounds: int) -> np.ndarray:

@@ -29,6 +29,14 @@ class FLConfig:
     #: update (paper §4.2: unreliable client communication).  The server
     #: still pays the download; the upload never happens.
     dropout_rate: float = 0.0
+    #: client-execution backend (:mod:`repro.fl.execution`): ``"serial"``,
+    #: ``"thread"``, ``"process"``, or ``"auto"`` (resolve from the
+    #: ``REPRO_BACKEND`` / ``REPRO_WORKERS`` environment, defaulting to
+    #: serial).  All backends are bit-for-bit equivalent.
+    backend: str = "auto"
+    #: worker-pool size for the thread/process backends; 0 picks a
+    #: machine-dependent default (``min(4, cpu_count)``)
+    workers: int = 0
     #: algorithm-specific knobs (e.g. FedProx mu, IFCA k, FedClust lambda)
     extra: dict = field(default_factory=dict)
 
@@ -49,6 +57,13 @@ class FLConfig:
             raise ValueError(
                 f"dropout_rate must be in [0, 1), got {self.dropout_rate}"
             )
+        if self.backend not in ("auto", "serial", "thread", "process"):
+            raise ValueError(
+                f"backend must be one of auto/serial/thread/process, "
+                f"got {self.backend!r}"
+            )
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
 
     def with_extra(self, **kwargs) -> "FLConfig":
         """A copy with algorithm-specific knobs merged into ``extra``."""

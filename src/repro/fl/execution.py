@@ -1,0 +1,364 @@
+"""Pluggable client-execution backends for the federated round loop.
+
+The engine (:class:`repro.fl.server.FederatedAlgorithm`) simulates every
+selected client per round.  How those per-client tasks *execute* — serially,
+on a thread pool, or on a pool of forked worker processes — is the concern of
+this module, selected via :attr:`repro.fl.config.FLConfig.backend` and
+:attr:`~repro.fl.config.FLConfig.workers` (or the ``REPRO_BACKEND`` /
+``REPRO_WORKERS`` environment variables when ``backend="auto"``).
+
+Bit-for-bit reproducibility contract
+------------------------------------
+
+All backends produce *identical* results (histories, communication bills,
+cluster assignments) because client-side work is written as a pure function
+of ``(server state, client id, round index)``:
+
+* every random draw comes from a named child of the run's root seed
+  (:class:`repro.utils.rng.RngFactory`), never from shared-generator call
+  order;
+* client tasks never write server-side state — algorithms fold results into
+  the server exclusively inside ``aggregate`` (which always runs in the
+  parent, after all of the round's tasks complete);
+* results are returned in submission order regardless of completion order,
+  so downstream floating-point reductions see the same operand order.
+
+Backends
+--------
+
+``SerialBackend``
+    The default: runs tasks in a plain loop on the caller's thread, on the
+    engine's shared work model — the exact seed behaviour.
+
+``ThreadBackend``
+    A persistent :class:`~concurrent.futures.ThreadPoolExecutor`.  Each
+    worker thread lazily builds its own work-model replica (see
+    ``FederatedAlgorithm.model``), so tasks never share mutable buffers.
+    NumPy releases the GIL only inside large kernels; at the small model
+    sizes of the CPU benches this backend mostly demonstrates the seam
+    rather than a speedup.
+
+``ProcessBackend``
+    A persistent pool of ``fork``-start worker processes (Linux/macOS).
+    Workers inherit the immutable bulk of the simulation — datasets, model
+    topology, config — through copy-on-write fork memory; the *mutable*
+    server state a client task reads (global/cluster parameter vectors,
+    control variates, …) is declared per algorithm via
+    ``FederatedAlgorithm.exec_state_attrs`` and shipped to workers before
+    every dispatch.  This is the backend that turns wall-clock speedups on
+    multi-core hardware.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.fl.server import ClientUpdate, FederatedAlgorithm
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "BACKENDS",
+    "ClientSlots",
+    "make_backend",
+    "resolve_workers",
+]
+
+
+class ClientSlots:
+    """A per-client-indexed subset of a server-side sequence.
+
+    ``FederatedAlgorithm.exec_state`` wraps attributes declared in
+    ``exec_state_client_attrs`` (per-client parameter lists and the like) in
+    this marker so the process backend ships only the dispatched clients'
+    slots instead of the whole federation's, and ``load_exec_state`` writes
+    them back slot-by-slot on the worker.
+    """
+
+    __slots__ = ("slots",)
+
+    def __init__(self, slots: dict[int, object]):
+        self.slots = slots
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ClientSlots({sorted(self.slots)})"
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Resolve a worker-count knob to a concrete pool size.
+
+    Args:
+        workers: requested worker count; ``None`` or ``0`` means "pick a
+            default" (``min(4, os.cpu_count())``).
+
+    Returns:
+        A positive integer pool size.
+    """
+    if workers is not None and workers > 0:
+        return int(workers)
+    return min(4, os.cpu_count() or 1)
+
+
+def _split_chunks(seq: list, n: int) -> list[list]:
+    """Split ``seq`` into at most ``n`` contiguous, size-balanced chunks."""
+    n = max(1, min(n, len(seq)))
+    q, r = divmod(len(seq), n)
+    chunks, start = [], 0
+    for i in range(n):
+        size = q + (1 if i < r else 0)
+        chunks.append(seq[start : start + size])
+        start += size
+    return chunks
+
+
+class ExecutionBackend(ABC):
+    """How the engine executes a batch of per-client tasks.
+
+    A *task* is a bound-method call on the algorithm — ``client_update``,
+    ``evaluate_client``, or an algorithm-specific round-0 method such as
+    FedClust's ``client_partial_weights``.  Backends guarantee that the
+    returned list is ordered like the submitted argument list.
+    """
+
+    #: registry name; subclasses set this
+    name: str = "base"
+
+    @abstractmethod
+    def map(
+        self,
+        algorithm: "FederatedAlgorithm",
+        method: str,
+        argslist: Sequence[tuple],
+    ) -> list:
+        """Execute ``getattr(algorithm, method)(*args)`` for each args tuple.
+
+        Args:
+            algorithm: the running federation (one backend instance serves
+                one algorithm run).
+            method: name of the algorithm method to call for each task.
+            argslist: one positional-argument tuple per task.
+
+        Returns:
+            The task results, in the order of ``argslist`` (never in
+            completion order).
+        """
+
+    def run_updates(
+        self,
+        algorithm: "FederatedAlgorithm",
+        round_idx: int,
+        client_ids: Iterable[int],
+    ) -> list["ClientUpdate"]:
+        """Run ``client_update`` for every id in ``client_ids`` (in order)."""
+        return self.map(
+            algorithm, "client_update", [(int(c), round_idx) for c in client_ids]
+        )
+
+    def close(self) -> None:
+        """Release pool resources.  Idempotent; called by the engine when a
+        run finishes (including on error)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class SerialBackend(ExecutionBackend):
+    """Sequential in-process execution — the seed engine's exact behaviour."""
+
+    name = "serial"
+
+    def map(self, algorithm, method, argslist):
+        fn = getattr(algorithm, method)
+        return [fn(*args) for args in argslist]
+
+
+class ThreadBackend(ExecutionBackend):
+    """Thread-pool execution with per-thread work-model replicas."""
+
+    name = "thread"
+
+    def __init__(self, workers: int | None = None):
+        self.workers = resolve_workers(workers)
+        self._pool: ThreadPoolExecutor | None = None
+
+    def map(self, algorithm, method, argslist):
+        if not argslist:
+            return []
+        fn = getattr(algorithm, method)
+        if len(argslist) == 1 or self.workers == 1:
+            return [fn(*args) for args in argslist]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-exec"
+            )
+        return list(self._pool.map(lambda args: fn(*args), argslist))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ThreadBackend(workers={self.workers})"
+
+
+#: Handoff slot read by forked pool workers at fork time (the child keeps a
+#: copy-on-write reference to the whole algorithm, datasets included).
+#: Guarded by ``_FORK_LOCK`` so concurrent runs in one process cannot fork
+#: workers bound to each other's algorithm.
+_FORK_ALGORITHM: "FederatedAlgorithm | None" = None
+_FORK_LOCK = threading.Lock()
+
+
+def _run_chunk(payload: tuple[dict, list[tuple[str, tuple]]]) -> list:
+    """Worker-side task runner: refresh server state, execute a job chunk."""
+    state, jobs = payload
+    algorithm = _FORK_ALGORITHM
+    if algorithm is None:  # pragma: no cover - defensive
+        raise RuntimeError("worker process has no inherited algorithm")
+    if state:
+        algorithm.load_exec_state(state)
+    return [getattr(algorithm, method)(*args) for method, args in jobs]
+
+
+class ProcessBackend(ExecutionBackend):
+    """Forked worker-process execution with per-dispatch state sync.
+
+    The pool is created lazily at the first dispatch, *after* the
+    algorithm's ``__init__`` (and usually its ``setup``) has populated the
+    immutable bulk of the simulation, which workers then inherit through
+    fork copy-on-write memory.  Before each dispatch the parent ships the
+    algorithm's declared mutable state (``exec_state_attrs``) to workers, so
+    tasks always read the current round's parameters.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int | None = None):
+        self.workers = resolve_workers(workers)
+        self._pool = None
+        self._algo_id: int | None = None
+
+    def _ensure_pool(self, algorithm: "FederatedAlgorithm") -> None:
+        if self._pool is not None:
+            if self._algo_id != id(algorithm):
+                raise RuntimeError(
+                    "a ProcessBackend instance serves one algorithm run; "
+                    "create a fresh backend for a new run"
+                )
+            return
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "ProcessBackend requires the 'fork' start method "
+                "(Linux/macOS); use backend='thread' or 'serial' instead"
+            )
+        global _FORK_ALGORITHM
+        ctx = multiprocessing.get_context("fork")
+        with _FORK_LOCK:
+            _FORK_ALGORITHM = algorithm
+            try:
+                self._pool = ctx.Pool(processes=self.workers)
+            finally:
+                _FORK_ALGORITHM = None
+        self._algo_id = id(algorithm)
+
+    def map(self, algorithm, method, argslist):
+        if not argslist:
+            return []
+        if len(argslist) == 1 or self.workers == 1:
+            # Not worth a round-trip; run on the parent (same pure contract).
+            fn = getattr(algorithm, method)
+            return [fn(*args) for args in argslist]
+        self._ensure_pool(algorithm)
+        # Task shape contract: args[0] is the client id, which lets the
+        # state snapshot narrow per-client attributes to each worker's own
+        # chunk (a task may only read its own slot, so no worker needs the
+        # other chunks' slots).
+        jobs = [(method, tuple(args)) for args in argslist]
+        payloads = [
+            (algorithm.exec_state(client_ids=[args[0] for _, args in chunk]), chunk)
+            for chunk in _split_chunks(jobs, self.workers)
+        ]
+        results = self._pool.map(_run_chunk, payloads, chunksize=1)
+        return [r for chunk in results for r in chunk]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+            self._algo_id = None
+
+    def __del__(self):  # pragma: no cover - safety net
+        if getattr(self, "_pool", None) is not None:
+            self._pool.terminate()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProcessBackend(workers={self.workers})"
+
+
+#: registry used by :func:`make_backend` and ``FLConfig`` validation
+BACKENDS = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+
+def make_backend(
+    config=None,
+    backend: str | None = None,
+    workers: int | None = None,
+) -> ExecutionBackend:
+    """Build the execution backend for one federation run.
+
+    Args:
+        config: an :class:`~repro.fl.config.FLConfig` supplying default
+            ``backend`` / ``workers`` knobs (optional).
+        backend: explicit backend name overriding the config — one of
+            ``"auto"``, ``"serial"``, ``"thread"``, ``"process"``.
+        workers: explicit worker count overriding the config (``0``/``None``
+            picks a machine-dependent default).
+
+    ``"auto"`` resolves from the environment: ``REPRO_BACKEND`` names the
+    backend (default ``serial``) and ``REPRO_WORKERS`` the pool size, which
+    lets an entire benchmark or test invocation switch backends without
+    touching code.
+
+    Returns:
+        A fresh :class:`ExecutionBackend`; the caller owns it and must
+        ``close()`` it when the run finishes.
+    """
+    spec = backend
+    if spec is None:
+        spec = getattr(config, "backend", "serial") if config is not None else "serial"
+    n = workers
+    if n is None:
+        n = getattr(config, "workers", 0) if config is not None else 0
+    spec = str(spec).strip().lower()
+    if spec == "auto":
+        spec = os.environ.get("REPRO_BACKEND", "serial").strip().lower() or "serial"
+        if not n:
+            raw = os.environ.get("REPRO_WORKERS", "0").strip() or "0"
+            try:
+                n = int(raw)
+            except ValueError:
+                raise ValueError(f"REPRO_WORKERS must be an integer, got {raw!r}")
+    try:
+        cls = BACKENDS[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown execution backend {spec!r}; available: "
+            f"{sorted(BACKENDS)} (or 'auto')"
+        ) from None
+    if cls is SerialBackend:
+        return cls()
+    return cls(workers=n)

@@ -40,7 +40,16 @@ class FairnessReport:
 
 
 def fairness_report(algorithm: FederatedAlgorithm) -> FairnessReport:
-    """Evaluate every client on its designated model and summarize spread."""
+    """Evaluate every client on its designated model and summarize spread.
+
+    Args:
+        algorithm: a federation whose ``run()`` (or at least ``setup()``)
+            has completed; its ``per_client_accuracy`` is evaluated once.
+
+    Returns:
+        The :class:`FairnessReport` over all clients' local test
+        accuracies.
+    """
     accs = algorithm.per_client_accuracy()
     n = accs.size
     k = max(1, int(np.ceil(0.1 * n)))

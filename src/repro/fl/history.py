@@ -1,10 +1,12 @@
 """Training history: per-round metrics and the paper's derived statistics.
 
-Collects the three quantities the evaluation section reports:
+Collects the three quantities the evaluation section reports, plus
+wall-clock timing so execution-backend speedups are measurable:
 
 * the accuracy-vs-round curve (Fig. 3);
 * rounds to reach a target accuracy (Table 4);
-* communication Mb to reach a target accuracy (Table 5).
+* communication Mb to reach a target accuracy (Table 5);
+* wall-clock seconds per recorded span and for round-0 setup.
 """
 
 from __future__ import annotations
@@ -18,10 +20,24 @@ __all__ = ["RoundRecord", "History"]
 
 @dataclass(frozen=True)
 class RoundRecord:
+    """One evaluation point of a federation run.
+
+    Attributes:
+        round: 1-based training round index (round 0 is setup).
+        accuracy: average local test accuracy over all clients.
+        train_loss: mean training loss of the round's reporting clients.
+        cumulative_mb: total communication (Mb) up to and including this
+            round.
+        seconds: wall-clock seconds spent since the previous record (covers
+            every training round in between when ``eval_every > 1``).
+        extras: free-form per-record annotations.
+    """
+
     round: int
     accuracy: float
     train_loss: float
     cumulative_mb: float
+    seconds: float = 0.0
     extras: dict = field(default_factory=dict)
 
 
@@ -32,8 +48,19 @@ class History:
         self.algorithm = algorithm
         self.dataset = dataset
         self.records: list[RoundRecord] = []
+        #: wall-clock seconds the engine spent in round-0 ``setup`` (one-shot
+        #: clustering, per-client warm-up...); 0.0 until ``run`` sets it
+        self.setup_seconds: float = 0.0
 
     def append(self, record: RoundRecord) -> None:
+        """Append a record; rounds must be strictly increasing.
+
+        Args:
+            record: the evaluation point to store.
+
+        Raises:
+            ValueError: if ``record.round`` does not follow the last round.
+        """
         if self.records and record.round <= self.records[-1].round:
             raise ValueError(
                 f"round {record.round} not after round {self.records[-1].round}"
@@ -45,26 +72,58 @@ class History:
 
     @property
     def rounds(self) -> np.ndarray:
+        """Recorded round indices, ascending."""
         return np.array([r.round for r in self.records])
 
     @property
     def accuracies(self) -> np.ndarray:
+        """Recorded accuracies, aligned with :attr:`rounds`."""
         return np.array([r.accuracy for r in self.records])
 
     @property
     def losses(self) -> np.ndarray:
+        """Recorded training losses, aligned with :attr:`rounds`."""
         return np.array([r.train_loss for r in self.records])
 
     @property
     def cumulative_mb(self) -> np.ndarray:
+        """Cumulative communication (Mb), aligned with :attr:`rounds`."""
         return np.array([r.cumulative_mb for r in self.records])
 
+    @property
+    def seconds(self) -> np.ndarray:
+        """Wall-clock seconds per record span, aligned with :attr:`rounds`."""
+        return np.array([r.seconds for r in self.records])
+
+    def total_seconds(self, include_setup: bool = True) -> float:
+        """Total measured wall-clock time of the run.
+
+        Args:
+            include_setup: whether to add round-0 :attr:`setup_seconds`.
+
+        Returns:
+            Seconds spent across all recorded spans (0.0 for an empty,
+            untimed history).
+        """
+        total = float(self.seconds.sum()) if self.records else 0.0
+        return total + (self.setup_seconds if include_setup else 0.0)
+
     def final_accuracy(self) -> float:
+        """Accuracy of the last record.
+
+        Raises:
+            ValueError: on an empty history.
+        """
         if not self.records:
             raise ValueError("empty history")
         return self.records[-1].accuracy
 
     def best_accuracy(self) -> float:
+        """Highest recorded accuracy.
+
+        Raises:
+            ValueError: on an empty history.
+        """
         if not self.records:
             raise ValueError("empty history")
         return float(self.accuracies.max())
@@ -82,6 +141,7 @@ class History:
         return float(self.cumulative_mb[hits[0]]) if hits.size else None
 
     def as_dict(self) -> dict:
+        """JSON-serializable summary of the history (see ``utils.io``)."""
         return {
             "algorithm": self.algorithm,
             "dataset": self.dataset,
@@ -89,4 +149,6 @@ class History:
             "accuracy": self.accuracies.tolist(),
             "train_loss": self.losses.tolist(),
             "cumulative_mb": self.cumulative_mb.tolist(),
+            "seconds": self.seconds.tolist(),
+            "setup_seconds": self.setup_seconds,
         }

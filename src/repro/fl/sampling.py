@@ -10,7 +10,20 @@ __all__ = ["sample_clients"]
 def sample_clients(
     num_clients: int, sample_rate: float, rng: np.random.Generator
 ) -> np.ndarray:
-    """Uniformly sample ``max(round(rate * N), 1)`` distinct client ids."""
+    """Uniformly sample ``max(round(rate * N), 1)`` distinct client ids.
+
+    Args:
+        num_clients: federation size ``N`` (positive).
+        sample_rate: per-round participation rate ``R`` in ``(0, 1]``.
+        rng: generator keyed by the round (so rounds are independent and
+            reproducible regardless of execution backend).
+
+    Returns:
+        Sorted, duplicate-free client ids for the round.
+
+    Raises:
+        ValueError: on a non-positive ``num_clients`` or out-of-range rate.
+    """
     if num_clients <= 0:
         raise ValueError(f"num_clients must be positive, got {num_clients}")
     if not 0.0 < sample_rate <= 1.0:

@@ -4,24 +4,53 @@ One round loop serves all ten algorithms: subclasses override *which model a
 client trains* (``params_for_client``), *how updates combine*
 (``aggregate``), and optionally the client update itself
 (``client_update``).  Communication is metered per transfer from actual
-array byte sizes, and every random draw comes from a named child of the
-run's root seed, so runs are bit-for-bit reproducible.
+array byte sizes, every random draw comes from a named child of the run's
+root seed, and per-round wall-clock time is recorded in the history, so
+runs are bit-for-bit reproducible *and* measurable.
 
 Round convention (paper Alg. 1): round 0 is the setup round (FedClust's
 one-shot clustering happens there); training rounds are 1..T.
+
+Execution contract
+------------------
+
+Per-client work (``client_update`` / ``evaluate_client``) may run on a
+thread or process pool (:mod:`repro.fl.execution`), so it must be a pure
+function of ``(server state, client id, round index)``:
+
+* read server state freely, but never write it — fold results into the
+  server only inside ``aggregate``, which always runs on the main thread
+  after all of a round's client tasks complete;
+* draw randomness only from ``self.rngs.make(name, index)`` with a
+  client/round-specific key, never from a shared sequential generator;
+* scratch through ``self.model``, which resolves to a per-worker replica
+  off the main thread.
+
+Algorithms whose client tasks read *mutable* server attributes (global
+parameter vectors, cluster models, control variates, …) declare them in
+``exec_state_attrs`` so the process backend can ship them to workers before
+each dispatch.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.data.federated import ClientData, FederatedDataset
 from repro.fl.comm import CommTracker
 from repro.fl.config import FLConfig
+from repro.fl.execution import (
+    ClientSlots,
+    ExecutionBackend,
+    SerialBackend,
+    make_backend,
+)
 from repro.fl.history import History, RoundRecord
 from repro.fl.sampling import sample_clients
 from repro.fl.training import evaluate_accuracy, local_sgd
@@ -32,10 +61,27 @@ from repro.utils.rng import RngFactory
 
 __all__ = ["ClientUpdate", "FederatedAlgorithm", "weighted_average", "average_states"]
 
+#: sentinel for :meth:`FederatedAlgorithm.exec_state`
+_MISSING = object()
+
 
 @dataclass
 class ClientUpdate:
-    """What a client ships back to the server after local training."""
+    """What a client ships back to the server after local training.
+
+    Attributes:
+        client_id: the reporting client.
+        params: flat trained parameter vector.
+        n_samples: client's local training-set size (FedAvg weighting).
+        steps: SGD steps taken (FedNova normalization).
+        loss: mean local training loss over the update.
+        state: non-trainable buffers (batch-norm statistics) after training.
+        extras: algorithm-specific payload (e.g. IFCA's chosen cluster,
+            SCAFFOLD's control-variate delta).  Because client tasks may run
+            on worker processes, ``extras`` is the *only* channel by which a
+            client may influence server state — the server folds it in
+            during ``aggregate``.
+    """
 
     client_id: int
     params: np.ndarray
@@ -47,7 +93,19 @@ class ClientUpdate:
 
 
 def weighted_average(vectors: list[np.ndarray], weights: list[float]) -> np.ndarray:
-    """Sample-size-weighted average of flat parameter vectors (FedAvg rule)."""
+    """Sample-size-weighted average of flat parameter vectors (FedAvg rule).
+
+    Args:
+        vectors: flat parameter vectors of identical shape.
+        weights: non-negative weights, one per vector, with a positive sum
+            (normalized internally).
+
+    Returns:
+        The float64 weighted average vector.
+
+    Raises:
+        ValueError: on empty input, length mismatch, or invalid weights.
+    """
     if not vectors:
         raise ValueError("nothing to average")
     if len(vectors) != len(weights):
@@ -65,7 +123,17 @@ def weighted_average(vectors: list[np.ndarray], weights: list[float]) -> np.ndar
 def average_states(
     states: list[dict[str, np.ndarray]], weights: list[float]
 ) -> dict[str, np.ndarray]:
-    """Weighted average of non-trainable buffers (batch-norm stats)."""
+    """Weighted average of non-trainable buffers (batch-norm stats).
+
+    Args:
+        states: per-client state dicts sharing one key set.
+        weights: non-negative weights, one per state (normalized
+            internally).
+
+    Returns:
+        A new state dict of float64 weighted averages (empty if ``states``
+        is empty).
+    """
     if not states:
         return {}
     w = np.asarray(weights, dtype=np.float64)
@@ -86,6 +154,18 @@ class FederatedAlgorithm(ABC):
     #: registry name; subclasses set this
     name: str = "base"
 
+    #: Names of mutable server-side attributes that client tasks
+    #: (``client_update`` / ``evaluate_client``) read.  The process backend
+    #: ships exactly these to its workers before every dispatch; subclasses
+    #: extend the tuple (``exec_state_attrs = Base.exec_state_attrs + (...,)``).
+    exec_state_attrs: tuple[str, ...] = ()
+
+    #: Subset of ``exec_state_attrs`` that are per-client sequences indexed
+    #: by client id (per-client model lists, control variates, ...).  For
+    #: these, snapshots ship only the dispatched clients' slots — a client
+    #: task may read its *own* slot only.
+    exec_state_client_attrs: tuple[str, ...] = ()
+
     def __init__(
         self,
         fed: FederatedDataset,
@@ -98,13 +178,35 @@ class FederatedAlgorithm(ABC):
         self.model_fn = model_fn
         self.rngs = RngFactory(seed)
         self.seed = seed
-        # one reusable work model: all parameter movement goes through
-        # flat vectors, so a single instance serves every client/cluster
-        self.model: Sequential = model_fn(self.rngs.make("model_init"))
-        self.model_bytes = param_nbytes(self.model)
+        # one reusable work model per executing thread: all parameter
+        # movement goes through flat vectors, so a single instance serves
+        # every client/cluster (see the ``model`` property)
+        self._model: Sequential = model_fn(self.rngs.make("model_init"))
+        self._model_replicas = threading.local()
+        self._owner_thread = threading.get_ident()
+        self.model_bytes = param_nbytes(self._model)
         self.comm = CommTracker()
         self.history = History(self.name, fed.name)
+        self._backend: ExecutionBackend | None = None
         self._ran = False
+
+    @property
+    def model(self) -> Sequential:
+        """The calling thread's scratch work model.
+
+        The main thread gets the engine's primary instance (the seed
+        behaviour); worker threads lazily build their own replica from the
+        same ``model_init`` generator so concurrent client tasks never share
+        mutable layer buffers.  Forked worker processes inherit the primary
+        instance as a private copy.
+        """
+        if threading.get_ident() == self._owner_thread:
+            return self._model
+        replica = getattr(self._model_replicas, "model", None)
+        if replica is None:
+            replica = self.model_fn(self.rngs.make("model_init"))
+            self._model_replicas.model = replica
+        return replica
 
     # ------------------------------------------------------------------
     # hooks
@@ -118,7 +220,13 @@ class FederatedAlgorithm(ABC):
 
     @abstractmethod
     def aggregate(self, round_idx: int, updates: list[ClientUpdate]) -> None:
-        """Fold client updates into server state."""
+        """Fold client updates into server state.
+
+        Always runs on the main thread/process after every update of the
+        round has been collected, in the deterministic selection order —
+        this is the one place an algorithm may write server state in
+        response to client work.
+        """
 
     def eval_params_for_client(self, client_id: int) -> np.ndarray:
         """Model evaluated on a client's local test set (defaults to the
@@ -130,6 +238,7 @@ class FederatedAlgorithm(ABC):
         return {}
 
     def state_for_client(self, client_id: int, round_idx: int) -> dict[str, np.ndarray]:
+        """Non-trainable buffers the client downloads this round."""
         return self.eval_state_for_client(client_id)
 
     def download_bytes(self, client_id: int, round_idx: int) -> int:
@@ -141,47 +250,135 @@ class FederatedAlgorithm(ABC):
         return self.model_bytes
 
     # ------------------------------------------------------------------
+    # execution state (process-backend synchronization)
+    # ------------------------------------------------------------------
+    def exec_state(self, client_ids: Sequence[int] | None = None) -> dict:
+        """Snapshot of the mutable server state client tasks read.
+
+        Args:
+            client_ids: when given, per-client attributes
+                (``exec_state_client_attrs``) are narrowed to these
+                clients' slots to keep process-backend dispatches cheap.
+
+        Returns:
+            ``{attr: value}`` for every ``exec_state_attrs`` name currently
+            set on the instance (attributes a later ``setup`` will create
+            are simply omitted).
+        """
+        out = {}
+        for name in self.exec_state_attrs:
+            value = getattr(self, name, _MISSING)
+            if value is _MISSING:
+                continue
+            if client_ids is not None and name in self.exec_state_client_attrs:
+                value = ClientSlots({int(c): value[int(c)] for c in client_ids})
+            out[name] = value
+        return out
+
+    def load_exec_state(self, state: dict) -> None:
+        """Install a snapshot produced by :meth:`exec_state` (worker side)."""
+        for name, value in state.items():
+            if isinstance(value, ClientSlots):
+                target = getattr(self, name)
+                for cid, slot in value.slots.items():
+                    target[cid] = slot
+            else:
+                setattr(self, name, value)
+
+    def _map_clients(self, method: str, argslist: list[tuple]) -> list:
+        """Run per-client tasks through the active backend (serial when no
+        run is in progress, e.g. in tests that call hooks directly)."""
+        if self._backend is None:
+            fn = getattr(self, method)
+            return [fn(*args) for args in argslist]
+        return self._backend.map(self, method, argslist)
+
+    # ------------------------------------------------------------------
     # engine
     # ------------------------------------------------------------------
     def run(self) -> History:
-        """Execute the federation and return its history."""
+        """Execute the federation and return its history.
+
+        The round loop: sample clients, meter downloads, draw dropouts,
+        execute the surviving clients' updates on the configured backend,
+        meter uploads, aggregate, and (on eval rounds) record accuracy,
+        communication, and wall-clock timing.
+
+        Returns:
+            The populated :class:`~repro.fl.history.History` (also available
+            as ``self.history``).
+
+        Raises:
+            RuntimeError: if called more than once on the same instance.
+        """
         if self._ran:
             raise RuntimeError("run() may only be called once per instance")
         self._ran = True
-        self.setup()
         cfg = self.config
-        for round_idx in range(1, cfg.rounds + 1):
-            selected = self.select_clients(round_idx)
-            dropout_rng = (
-                self.rngs.make("dropout", round_idx) if cfg.dropout_rate > 0 else None
-            )
-            updates = []
-            for cid in selected:
-                self.comm.record_download(
-                    round_idx, self.download_bytes(int(cid), round_idx)
+        self._backend = make_backend(cfg)
+        if not isinstance(self._backend, SerialBackend):
+            # Layer-internal generators (e.g. nn.layers.Dropout) draw in
+            # forward-call order, which parallel backends cannot reproduce;
+            # fail loudly instead of silently diverging from serial.
+            stateful = [
+                repr(layer)
+                for layer in self._model.layers
+                if isinstance(getattr(layer, "rng", None), np.random.Generator)
+            ]
+            if stateful:
+                self._backend.close()
+                self._backend = None
+                raise RuntimeError(
+                    "model contains layers with their own RNG state "
+                    f"({', '.join(stateful)}), which breaks the bit-for-bit "
+                    "backend-equivalence contract; use backend='serial' for "
+                    "this model"
                 )
-                if dropout_rng is not None and dropout_rng.random() < cfg.dropout_rate:
-                    # Client dropped out after receiving the model (paper
-                    # §4.2): no upload, no contribution to aggregation.
-                    continue
-                update = self.client_update(int(cid), round_idx)
-                self.comm.record_upload(round_idx, self.upload_bytes(int(cid), round_idx))
-                updates.append(update)
-            self.aggregate(round_idx, updates)
-            if round_idx % cfg.eval_every == 0 or round_idx == cfg.rounds:
-                acc = self.evaluate()
-                mean_loss = float(np.mean([u.loss for u in updates])) if updates else 0.0
-                self.history.append(
-                    RoundRecord(
-                        round=round_idx,
-                        accuracy=acc,
-                        train_loss=mean_loss,
-                        cumulative_mb=self.comm.total_mb(),
+        try:
+            t0 = time.perf_counter()
+            self.setup()
+            mark = time.perf_counter()
+            self.history.setup_seconds = mark - t0
+            for round_idx in range(1, cfg.rounds + 1):
+                selected = self.select_clients(round_idx)
+                dropout_rng = (
+                    self.rngs.make("dropout", round_idx) if cfg.dropout_rate > 0 else None
+                )
+                survivors: list[int] = []
+                for cid in selected:
+                    self.comm.record_download(
+                        round_idx, self.download_bytes(int(cid), round_idx)
                     )
-                )
+                    if dropout_rng is not None and dropout_rng.random() < cfg.dropout_rate:
+                        # Client dropped out after receiving the model (paper
+                        # §4.2): no upload, no contribution to aggregation.
+                        continue
+                    survivors.append(int(cid))
+                updates = self._backend.run_updates(self, round_idx, survivors)
+                for cid in survivors:
+                    self.comm.record_upload(round_idx, self.upload_bytes(cid, round_idx))
+                self.aggregate(round_idx, updates)
+                if round_idx % cfg.eval_every == 0 or round_idx == cfg.rounds:
+                    acc = self.evaluate()
+                    mean_loss = float(np.mean([u.loss for u in updates])) if updates else 0.0
+                    now = time.perf_counter()
+                    self.history.append(
+                        RoundRecord(
+                            round=round_idx,
+                            accuracy=acc,
+                            train_loss=mean_loss,
+                            cumulative_mb=self.comm.total_mb(),
+                            seconds=now - mark,
+                        )
+                    )
+                    mark = now
+        finally:
+            self._backend.close()
+            self._backend = None
         return self.history
 
     def select_clients(self, round_idx: int) -> np.ndarray:
+        """Sampled client ids for one round (sorted, without replacement)."""
         return sample_clients(
             self.fed.num_clients,
             self.config.sample_rate,
@@ -189,7 +386,11 @@ class FederatedAlgorithm(ABC):
         )
 
     def client_update(self, client_id: int, round_idx: int) -> ClientUpdate:
-        """Default client behaviour: local SGD from the assigned model."""
+        """Default client behaviour: local SGD from the assigned model.
+
+        Pure with respect to server state (see the module docstring); safe
+        to execute on any backend worker.
+        """
         params = self.params_for_client(client_id, round_idx)
         state = self.state_for_client(client_id, round_idx)
         return self.local_train(client_id, round_idx, params, state)
@@ -204,14 +405,30 @@ class FederatedAlgorithm(ABC):
         epochs: int | None = None,
         lr: float | None = None,
     ) -> ClientUpdate:
-        """Run the standard local-SGD client update and package the result."""
+        """Run the standard local-SGD client update and package the result.
+
+        Args:
+            client_id: which client's data to train on.
+            round_idx: current round (keys the client's training RNG).
+            params: flat parameter vector to start from.
+            state: non-trainable buffers to install before training (omit
+                only for stateless models).
+            prox_center: FedProx anchor; enables the proximal term with
+                ``config.extra["prox_mu"]``.
+            epochs: override for ``config.local_epochs``.
+            lr: override for ``config.lr``.
+
+        Returns:
+            The packaged :class:`ClientUpdate`.
+        """
         cfg = self.config
         client = self.fed[client_id]
-        unflatten_params(self.model, params)
+        model = self.model
+        unflatten_params(model, params)
         if state:
-            self.model.load_state(state)
+            model.load_state(state)
         opt = SGD(
-            self.model,
+            model,
             lr=lr if lr is not None else cfg.lr,
             momentum=cfg.momentum,
             weight_decay=cfg.weight_decay,
@@ -220,7 +437,7 @@ class FederatedAlgorithm(ABC):
         if prox_center is not None:
             center = []
             offset = 0
-            for p in self.model.parameters():
+            for p in model.parameters():
                 center.append(
                     prox_center[offset : offset + p.size].reshape(p.shape).astype(p.data.dtype)
                 )
@@ -228,7 +445,7 @@ class FederatedAlgorithm(ABC):
             opt.set_prox_center(center)
         rng = self.rngs.make(f"client{client_id}.train", round_idx)
         loss, steps = local_sgd(
-            self.model,
+            model,
             opt,
             client.train_x,
             client.train_y,
@@ -238,11 +455,11 @@ class FederatedAlgorithm(ABC):
         )
         return ClientUpdate(
             client_id=client_id,
-            params=flatten_params(self.model),
+            params=flatten_params(model),
             n_samples=client.n_train,
             steps=steps,
             loss=loss,
-            state={k: v.copy() for k, v in self.model.state().items()},
+            state={k: v.copy() for k, v in model.state().items()},
         )
 
     # ------------------------------------------------------------------
@@ -254,15 +471,23 @@ class FederatedAlgorithm(ABC):
         return float(np.mean(self.per_client_accuracy()))
 
     def per_client_accuracy(self) -> np.ndarray:
-        accs = np.empty(self.fed.num_clients)
-        for cid in range(self.fed.num_clients):
-            accs[cid] = self.evaluate_client(cid)
-        return accs
+        """Local test accuracy of every client, in client-id order.
+
+        Runs through the active execution backend during :meth:`run`;
+        serially otherwise.
+        """
+        argslist = [(cid,) for cid in range(self.fed.num_clients)]
+        return np.asarray(self._map_clients("evaluate_client", argslist), dtype=np.float64)
 
     def evaluate_client(self, client_id: int) -> float:
+        """One client's local test accuracy on its designated eval model.
+
+        Pure with respect to server state; safe on any backend worker.
+        """
         client: ClientData = self.fed[client_id]
-        unflatten_params(self.model, self.eval_params_for_client(client_id))
+        model = self.model
+        unflatten_params(model, self.eval_params_for_client(client_id))
         state = self.eval_state_for_client(client_id)
         if state:
-            self.model.load_state(state)
-        return evaluate_accuracy(self.model, client.test_x, client.test_y)
+            model.load_state(state)
+        return evaluate_accuracy(model, client.test_x, client.test_y)

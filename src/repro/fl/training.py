@@ -7,14 +7,58 @@ import numpy as np
 from repro.nn.losses import softmax_cross_entropy
 from repro.nn.model import Sequential
 from repro.nn.optim import SGD
+from repro.nn.serialization import flatten_grads
 
-__all__ = ["local_sgd", "evaluate_accuracy", "evaluate_loss", "minibatches"]
+__all__ = [
+    "local_sgd",
+    "grad_on_batch",
+    "evaluate_accuracy",
+    "evaluate_loss",
+    "minibatches",
+]
+
+
+def grad_on_batch(
+    model: Sequential, x: np.ndarray, y: np.ndarray
+) -> tuple[np.ndarray, float]:
+    """Flat gradient and mean loss of one training-mode batch.
+
+    The shared building block for algorithms that step on raw gradients
+    instead of an optimizer (SCAFFOLD, FedDyn, Per-FedAvg).  Re-entrant:
+    all scratch lives in ``model``, so concurrent backend workers can
+    interleave calls on their own replicas.
+
+    Args:
+        model: the model to differentiate (gradients are overwritten).
+        x: batch inputs.
+        y: integer class labels aligned with ``x``.
+
+    Returns:
+        ``(flat_gradient, mean_loss)`` for the batch.
+    """
+    model.zero_grad()
+    logits = model.forward(x, train=True)
+    loss, dlogits = softmax_cross_entropy(logits, y)
+    model.backward(dlogits)
+    return flatten_grads(model), loss
 
 
 def minibatches(
     n: int, batch_size: int, rng: np.random.Generator
 ) -> list[np.ndarray]:
-    """Shuffled minibatch index arrays covering ``0..n-1`` once."""
+    """Shuffled minibatch index arrays covering ``0..n-1`` once.
+
+    Args:
+        n: dataset size (must be positive).
+        batch_size: maximum batch size (the last batch may be smaller).
+        rng: generator supplying the shuffle.
+
+    Returns:
+        Index arrays partitioning the permutation of ``0..n-1``.
+
+    Raises:
+        ValueError: if ``n <= 0``.
+    """
     if n <= 0:
         raise ValueError(f"need at least one sample, got {n}")
     perm = rng.permutation(n)
@@ -32,8 +76,18 @@ def local_sgd(
 ) -> tuple[float, int]:
     """Run ``epochs`` of minibatch SGD on ``(x, y)``.
 
-    Returns ``(mean_loss, num_steps)``; the step count feeds FedNova's
-    normalized aggregation.
+    Args:
+        model: the model to train in place.
+        opt: optimizer bound to ``model``.
+        x: training inputs.
+        y: integer class labels aligned with ``x``.
+        epochs: passes over the data.
+        batch_size: minibatch size (see :func:`minibatches`).
+        rng: generator driving the per-epoch shuffles.
+
+    Returns:
+        ``(mean_loss, num_steps)``; the step count feeds FedNova's
+        normalized aggregation.
     """
     total_loss = 0.0
     steps = 0
@@ -50,7 +104,19 @@ def local_sgd(
 
 
 def evaluate_accuracy(model: Sequential, x: np.ndarray, y: np.ndarray) -> float:
-    """Top-1 accuracy in evaluation mode."""
+    """Top-1 accuracy in evaluation mode.
+
+    Args:
+        model: the model to evaluate (uses ``predict``, i.e. eval mode).
+        x: inputs.
+        y: integer class labels aligned with ``x`` (non-empty).
+
+    Returns:
+        Fraction of samples whose argmax logit matches the label.
+
+    Raises:
+        ValueError: on an empty evaluation set.
+    """
     if len(y) == 0:
         raise ValueError("cannot evaluate on an empty set")
     logits = model.predict(x)
@@ -59,7 +125,19 @@ def evaluate_accuracy(model: Sequential, x: np.ndarray, y: np.ndarray) -> float:
 
 def evaluate_loss(model: Sequential, x: np.ndarray, y: np.ndarray) -> float:
     """Mean cross-entropy in evaluation mode (used by IFCA's cluster
-    assignment)."""
+    assignment).
+
+    Args:
+        model: the model to evaluate (uses ``predict``, i.e. eval mode).
+        x: inputs.
+        y: integer class labels aligned with ``x`` (non-empty).
+
+    Returns:
+        Mean softmax cross-entropy over the set.
+
+    Raises:
+        ValueError: on an empty evaluation set.
+    """
     if len(y) == 0:
         raise ValueError("cannot evaluate on an empty set")
     logits = model.predict(x)

@@ -59,13 +59,23 @@ def save_history(history: History, path: str | Path) -> None:
 
 
 def load_history(path: str | Path) -> History:
-    """Read a history written by :func:`save_history`."""
+    """Read a history written by :func:`save_history`.
+
+    Timing fields are restored when present (histories written before
+    per-round timing load with all-zero ``seconds``).
+    """
     data = json.loads(Path(path).read_text())
     h = History(data["algorithm"], data["dataset"])
-    for r, acc, loss, mb in zip(
-        data["rounds"], data["accuracy"], data["train_loss"], data["cumulative_mb"]
+    seconds = data.get("seconds") or [0.0] * len(data["rounds"])
+    h.setup_seconds = float(data.get("setup_seconds", 0.0))
+    for r, acc, loss, mb, sec in zip(
+        data["rounds"], data["accuracy"], data["train_loss"], data["cumulative_mb"],
+        seconds,
     ):
         h.append(
-            RoundRecord(round=int(r), accuracy=acc, train_loss=loss, cumulative_mb=mb)
+            RoundRecord(
+                round=int(r), accuracy=acc, train_loss=loss, cumulative_mb=mb,
+                seconds=float(sec),
+            )
         )
     return h

@@ -1,0 +1,33 @@
+"""Doctest targets promised by the documentation suite.
+
+``README.md`` / ``docs/architecture.md`` point at the runnable examples in
+``select_weights`` and ``proximity_matrix``; CI additionally runs
+
+    pytest --doctest-modules src/repro/core/weight_selection.py \
+                             src/repro/clustering/distance.py
+
+This test keeps those examples green inside the plain tier-1 run too.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.clustering.distance
+import repro.core.weight_selection
+
+DOCTEST_MODULES = [
+    repro.core.weight_selection,
+    repro.clustering.distance,
+]
+
+
+@pytest.mark.parametrize(
+    "module", DOCTEST_MODULES, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} has no doctests"
+    assert results.failed == 0
