@@ -128,3 +128,9 @@ class IFCA(ClusteredAlgorithm):
     def download_bytes(self, client_id: int, round_idx: int) -> int:
         # The server ships all k cluster models every round.
         return self.k * self.model_bytes
+
+    def wire_reference(self, update: ClientUpdate, round_idx: int) -> np.ndarray:
+        # The client trained its argmin-chosen cluster model, not the one
+        # ``cluster_of`` recorded last round — the codec must form the
+        # delta against what the client actually started from.
+        return self.cluster_params[int(update.extras["cluster"])]

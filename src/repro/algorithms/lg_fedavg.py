@@ -89,3 +89,12 @@ class LGFedAvg(FederatedAlgorithm):
 
     def upload_bytes(self, client_id: int, round_idx: int) -> int:
         return self._global_bytes
+
+    def wire_slice(self) -> slice:
+        # Only the global head crosses the wire; the local representation
+        # layers never leave the client, so a lossy codec must not touch
+        # them.
+        return self._global_slice
+
+    def wire_payload_bytes(self) -> int:
+        return self._global_bytes

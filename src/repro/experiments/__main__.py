@@ -6,10 +6,13 @@ Usage::
     python -m repro.experiments figure4 --dataset cifar10
     python -m repro.experiments all            # everything, bench scale
     python -m repro.experiments table1 --backend process --workers 4
+    python -m repro.experiments table5 --codec int8 --network hetero
 
 Artifacts print to stdout in the paper's row format.  ``--backend`` /
 ``--workers`` pick the client-execution backend (results are bit-for-bit
-identical across backends; only wall-clock changes).
+identical across backends; only wall-clock changes).  ``--codec`` /
+``--topk-frac`` / ``--network`` / ``--deadline`` configure the wire layer
+(upload compression and the simulated network) for every cell at once.
 """
 
 from __future__ import annotations
@@ -17,6 +20,9 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+
+from repro.fl.codecs import CODECS
+from repro.fl.network import NETWORKS
 
 from repro.experiments import (
     ALL_METHODS,
@@ -120,7 +126,27 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workers", type=int, default=None,
                         help="worker-pool size for thread/process backends "
                              "(default: min(4, cpu_count))")
+    parser.add_argument("--codec", choices=sorted(CODECS), default=None,
+                        help="upload codec (default: none, or the "
+                             "REPRO_CODEC environment variable)")
+    parser.add_argument("--topk-frac", type=float, default=None,
+                        help="kept fraction for the topk codec")
+    parser.add_argument("--network", choices=sorted(NETWORKS), default=None,
+                        help="simulated network profile (default: ideal, or "
+                             "the REPRO_NETWORK environment variable)")
+    parser.add_argument("--deadline", type=float, default=None,
+                        help="per-round deadline in simulated seconds "
+                             "(late clients are cut from aggregation)")
     args = parser.parse_args(argv)
+
+    effective_codec = args.codec or os.environ.get(
+        "REPRO_CODEC", "none"
+    ).strip().lower()
+    if args.topk_frac is not None and effective_codec != "topk":
+        parser.error(
+            "--topk-frac only applies to the topk codec; also pass "
+            "--codec topk (or set REPRO_CODEC)"
+        )
 
     if (
         args.workers is not None
@@ -133,17 +159,29 @@ def main(argv: list[str] | None = None) -> int:
             "--backend thread|process (or set REPRO_BACKEND)"
         )
 
-    # Every FLConfig built below defaults to backend="auto", which resolves
-    # from these variables — one switch covers tables and figures alike.
-    # Saved and restored so programmatic main() calls don't leak the choice
-    # into later invocations in the same process.
+    # Every FLConfig built below defaults to backend/codec/network="auto",
+    # which resolve from these variables — one switch covers tables and
+    # figures alike.  Saved and restored so programmatic main() calls don't
+    # leak the choice into later invocations in the same process.
     saved_env = {
-        key: os.environ.get(key) for key in ("REPRO_BACKEND", "REPRO_WORKERS")
+        key: os.environ.get(key)
+        for key in (
+            "REPRO_BACKEND", "REPRO_WORKERS", "REPRO_CODEC",
+            "REPRO_TOPK_FRAC", "REPRO_NETWORK", "REPRO_DEADLINE",
+        )
     }
     if args.backend is not None:
         os.environ["REPRO_BACKEND"] = args.backend
     if args.workers is not None:
         os.environ["REPRO_WORKERS"] = str(args.workers)
+    if args.codec is not None:
+        os.environ["REPRO_CODEC"] = args.codec
+    if args.topk_frac is not None:
+        os.environ["REPRO_TOPK_FRAC"] = str(args.topk_frac)
+    if args.network is not None:
+        os.environ["REPRO_NETWORK"] = args.network
+    if args.deadline is not None:
+        os.environ["REPRO_DEADLINE"] = str(args.deadline)
 
     scale = SCALES[args.scale]
     datasets = args.dataset or DATASETS

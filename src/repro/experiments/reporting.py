@@ -41,7 +41,13 @@ def format_accuracy_table(table: dict, title: str = "") -> str:
 
 
 def format_scalar_table(table: dict, title: str = "", fmt: str = "{:.2f}") -> str:
-    """Render Tables 4/5: scalar (or missing) entries, with target rows."""
+    """Render Tables 4/5: scalar (or missing) entries, with target rows.
+
+    A ``comm`` block (from :func:`~repro.experiments.tables.table_comm_cost`)
+    appends a total-traffic section: metered wire Mb next to the logical
+    uncompressed Mb per cell, so codec savings are visible in the same
+    artifact as the paper's Mb-to-target numbers.
+    """
     datasets = table["datasets"]
     methods = list(table["cells"].keys())
     widths = [max(len(m) for m in methods + ["Method"])] + [12] * len(datasets)
@@ -59,6 +65,20 @@ def format_scalar_table(table: dict, title: str = "", fmt: str = "{:.2f}") -> st
             v = table["cells"][m][d]
             cells.append(_MISSING if v is None else fmt.format(v))
         lines.append(_row(m, cells, widths))
+    if "comm" in table:
+        comm_widths = [widths[0]] + [16] * len(datasets)
+        lines.append("")
+        lines.append(
+            "Total Mb over the run — metered wire / logical (raw float64 baseline)"
+        )
+        lines.append(_row("Method", [d.upper() for d in datasets], comm_widths))
+        lines.append("-" * (sum(comm_widths) + 2 * len(comm_widths)))
+        for m in methods:
+            cells = []
+            for d in datasets:
+                wire, logical = table["comm"][m][d]
+                cells.append(f"{wire:.2f}/{logical:.2f}")
+            lines.append(_row(m, cells, comm_widths))
     return "\n".join(lines)
 
 

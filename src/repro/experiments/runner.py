@@ -44,6 +44,10 @@ def run_cell(
     extra_overrides: dict | None = None,
     backend: str | None = None,
     workers: int | None = None,
+    codec: str | None = None,
+    topk_frac: float | None = None,
+    network: str | None = None,
+    deadline: float | None = None,
 ) -> CellResult:
     """Run one (dataset, method, setting) cell at the given scale.
 
@@ -60,6 +64,10 @@ def run_cell(
             ``config_overrides={"backend": ...}``); all backends produce
             identical results.
         workers: worker-pool size shorthand for thread/process backends.
+        codec: upload-codec shorthand (``repro.fl.codecs``).
+        topk_frac: kept fraction for the ``topk`` codec.
+        network: simulated network profile shorthand (``repro.fl.network``).
+        deadline: per-round deadline shorthand, in simulated seconds.
 
     Returns:
         The completed :class:`CellResult`.
@@ -69,6 +77,14 @@ def run_cell(
         overrides["backend"] = backend
     if workers is not None:
         overrides["workers"] = workers
+    if codec is not None:
+        overrides["codec"] = codec
+    if topk_frac is not None:
+        overrides["topk_frac"] = topk_frac
+    if network is not None:
+        overrides["network"] = network
+    if deadline is not None:
+        overrides["deadline"] = deadline
     fed = make_federation(dataset, setting, scale, seed=seed)
     model_fn = make_model_fn(dataset, fed, scale)
     cfg = scale.fl_config(**overrides)

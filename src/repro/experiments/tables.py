@@ -115,8 +115,16 @@ def table_comm_cost(
     seeds: tuple[int, ...] = (0,),
     config_overrides: dict | None = None,
 ) -> dict:
-    """Table 5: communication cost (Mb) to reach the target accuracy."""
+    """Table 5: communication cost (Mb) to reach the target accuracy.
+
+    Besides the paper's Mb-to-target cells, the result carries a ``comm``
+    block with each cell's *total* run traffic — metered wire Mb next to
+    the logical (uncompressed float64) Mb — so a single command shows both
+    the Table-5 numbers and what a codec saved
+    (``python -m repro.experiments table5 --codec int8``).
+    """
     cells: dict[str, dict[str, float | None]] = {m: {} for m in methods}
+    comm: dict[str, dict[str, tuple[float, float]]] = {m: {} for m in methods}
     targets: dict[str, float] = {}
     for dataset in datasets:
         by_method = run_methods(
@@ -131,11 +139,16 @@ def table_comm_cost(
             vals = [r.history.mb_to_target(target) for r in runs]
             reached = [v for v in vals if v is not None]
             cells[method][dataset] = float(np.mean(reached)) if len(reached) == len(vals) else None
+            comm[method][dataset] = (
+                float(np.mean([r.algorithm.comm.total_mb() for r in runs])),
+                float(np.mean([r.algorithm.comm.total_logical_mb() for r in runs])),
+            )
     return {
         "setting": setting,
         "datasets": list(datasets),
         "targets": targets,
         "cells": cells,
+        "comm": comm,
     }
 
 

@@ -1,5 +1,16 @@
-"""Federated-learning simulation engine: clients, server loop, metering."""
+"""Federated-learning simulation engine: clients, server loop, metering,
+and the simulated wire (codecs + network models)."""
 
+from repro.fl.codecs import (
+    CODECS,
+    Codec,
+    Encoded,
+    Fp16Codec,
+    IdentityCodec,
+    Int8Codec,
+    TopKCodec,
+    make_codec,
+)
 from repro.fl.comm import MB, CommTracker
 from repro.fl.config import FLConfig
 from repro.fl.execution import (
@@ -9,6 +20,18 @@ from repro.fl.execution import (
     SerialBackend,
     ThreadBackend,
     make_backend,
+)
+from repro.fl.network import (
+    NETWORKS,
+    ClientLink,
+    FlakyNetwork,
+    HeterogeneousNetwork,
+    IdealNetwork,
+    NetworkModel,
+    StragglerNetwork,
+    UniformNetwork,
+    make_network,
+    resolve_deadline,
 )
 from repro.fl.fairness import FairnessReport, fairness_report
 from repro.fl.history import History, RoundRecord
@@ -25,6 +48,24 @@ __all__ = [
     "FLConfig",
     "CommTracker",
     "MB",
+    "Codec",
+    "Encoded",
+    "IdentityCodec",
+    "Fp16Codec",
+    "Int8Codec",
+    "TopKCodec",
+    "CODECS",
+    "make_codec",
+    "NetworkModel",
+    "ClientLink",
+    "IdealNetwork",
+    "UniformNetwork",
+    "HeterogeneousNetwork",
+    "StragglerNetwork",
+    "FlakyNetwork",
+    "NETWORKS",
+    "make_network",
+    "resolve_deadline",
     "ExecutionBackend",
     "SerialBackend",
     "ThreadBackend",

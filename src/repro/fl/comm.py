@@ -5,6 +5,16 @@ The paper reports communication cost in Mb to reach a target accuracy
 actual array byte sizes, so an algorithm's protocol differences (IFCA
 downloading k cluster models, FedClust's one-shot partial upload, LG's
 partial parameter exchange) show up faithfully.
+
+Each codec-eligible upload is metered twice: the *wire* bytes that
+actually crossed the simulated network (compressed when a codec is
+active; model-native dtype otherwise — the seed format), and the
+*logical* bytes the same payload costs as a raw float64 vector.  The
+logical baseline is identical for every codec **including** ``none``, so
+compression ratios are comparable across rows and measurable per run,
+not assumed.  Transfers the codec never touches (downloads, FedClust's
+round-0 partial uploads, protocol overhead like SCAFFOLD's control
+variate) meter logical == wire.
 """
 
 from __future__ import annotations
@@ -23,54 +33,108 @@ class CommTracker:
     def __init__(self):
         self._up: dict[int, int] = {}
         self._down: dict[int, int] = {}
+        self._up_logical: dict[int, int] = {}
+        self._down_logical: dict[int, int] = {}
 
-    def record_upload(self, round_idx: int, nbytes: int) -> None:
+    def record_upload(
+        self, round_idx: int, nbytes: int, logical_nbytes: int | None = None
+    ) -> None:
         """Meter one client→server transfer.
 
         Args:
             round_idx: round the transfer belongs to (0 = setup round).
-            nbytes: transfer size in bytes (non-negative).
+            nbytes: wire size in bytes (non-negative; compressed when a
+                codec is active).
+            logical_nbytes: raw-float64 size of the same payload; defaults
+                to ``nbytes`` (transfers the codec never touches).
 
         Raises:
             ValueError: on a negative size.
         """
         if nbytes < 0:
             raise ValueError(f"negative upload size: {nbytes}")
+        logical = nbytes if logical_nbytes is None else logical_nbytes
+        if logical < 0:
+            raise ValueError(f"negative logical upload size: {logical}")
         self._up[round_idx] = self._up.get(round_idx, 0) + int(nbytes)
+        self._up_logical[round_idx] = self._up_logical.get(round_idx, 0) + int(logical)
 
-    def record_download(self, round_idx: int, nbytes: int) -> None:
+    def record_download(
+        self, round_idx: int, nbytes: int, logical_nbytes: int | None = None
+    ) -> None:
         """Meter one server→client transfer (see :meth:`record_upload`)."""
         if nbytes < 0:
             raise ValueError(f"negative download size: {nbytes}")
+        logical = nbytes if logical_nbytes is None else logical_nbytes
+        if logical < 0:
+            raise ValueError(f"negative logical download size: {logical}")
         self._down[round_idx] = self._down.get(round_idx, 0) + int(nbytes)
+        self._down_logical[round_idx] = (
+            self._down_logical.get(round_idx, 0) + int(logical)
+        )
 
     def round_bytes(self, round_idx: int) -> tuple[int, int]:
-        """``(upload, download)`` byte totals for one round."""
+        """``(upload, download)`` wire-byte totals for one round."""
         return self._up.get(round_idx, 0), self._down.get(round_idx, 0)
 
     @property
     def total_up(self) -> int:
-        """All client→server bytes so far."""
+        """All client→server wire bytes so far."""
         return sum(self._up.values())
 
     @property
     def total_down(self) -> int:
-        """All server→client bytes so far."""
+        """All server→client wire bytes so far."""
         return sum(self._down.values())
 
     @property
     def total_bytes(self) -> int:
-        """All metered traffic, both directions."""
+        """All metered wire traffic, both directions."""
         return self.total_up + self.total_down
 
+    @property
+    def total_logical_up(self) -> int:
+        """All client→server bytes as raw float64 (pre-codec)."""
+        return sum(self._up_logical.values())
+
+    @property
+    def total_logical_down(self) -> int:
+        """All server→client bytes as raw float64 (pre-codec)."""
+        return sum(self._down_logical.values())
+
+    @property
+    def total_logical_bytes(self) -> int:
+        """All logical traffic, both directions."""
+        return self.total_logical_up + self.total_logical_down
+
     def total_mb(self) -> float:
-        """Total traffic in decimal megabytes (the paper's unit)."""
+        """Total wire traffic in decimal megabytes (the paper's unit)."""
         return self.total_bytes / MB
 
+    def total_logical_mb(self) -> float:
+        """Total logical (uncompressed) traffic in decimal megabytes."""
+        return self.total_logical_bytes / MB
+
     def cumulative_mb(self, rounds: int) -> np.ndarray:
-        """Cumulative traffic (Mb) after each of rounds ``0..rounds-1``."""
+        """Cumulative wire traffic (Mb) after each of rounds ``0..rounds-1``.
+
+        Args:
+            rounds: number of leading rounds to cover (must be >= 0).
+
+        Raises:
+            ValueError: on a negative round count.
+        """
+        if rounds < 0:
+            raise ValueError(f"rounds must be >= 0, got {rounds}")
         per_round = np.array(
             [self._up.get(r, 0) + self._down.get(r, 0) for r in range(rounds)],
             dtype=np.float64,
         )
         return np.cumsum(per_round) / MB
+
+    def reset(self) -> None:
+        """Forget all metered traffic (reuse across runner repeats)."""
+        self._up.clear()
+        self._down.clear()
+        self._up_logical.clear()
+        self._down_logical.clear()

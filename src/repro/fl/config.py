@@ -4,6 +4,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.fl.codecs import CODECS
+from repro.fl.network import NETWORKS
+
 __all__ = ["FLConfig"]
 
 
@@ -37,6 +40,21 @@ class FLConfig:
     #: worker-pool size for the thread/process backends; 0 picks a
     #: machine-dependent default (``min(4, cpu_count)``)
     workers: int = 0
+    #: upload codec (:mod:`repro.fl.codecs`): ``"none"``, ``"fp16"``,
+    #: ``"int8"``, ``"topk"``, or ``"auto"`` (resolve from ``REPRO_CODEC``,
+    #: defaulting to ``none`` — the seed's raw-float64 wire format)
+    codec: str = "auto"
+    #: fraction of delta entries the ``topk`` codec transmits per round
+    topk_frac: float = 0.05
+    #: simulated network profile (:mod:`repro.fl.network`): ``"ideal"``,
+    #: ``"uniform"``, ``"hetero"``, ``"stragglers"``, ``"flaky"``, or
+    #: ``"auto"`` (resolve from ``REPRO_NETWORK``, defaulting to ideal)
+    network: str = "auto"
+    #: per-round deadline in *simulated* seconds: clients whose simulated
+    #: download + compute + upload exceeds it are cut off and the server
+    #: aggregates the partial cohort.  ``None`` disables the deadline
+    #: (``REPRO_DEADLINE`` can still enable it globally).
+    deadline: float | None = None
     #: algorithm-specific knobs (e.g. FedProx mu, IFCA k, FedClust lambda)
     extra: dict = field(default_factory=dict)
 
@@ -64,6 +82,20 @@ class FLConfig:
             )
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.codec != "auto" and self.codec not in CODECS:
+            raise ValueError(
+                f"codec must be one of {sorted(CODECS)} (or 'auto'), "
+                f"got {self.codec!r}"
+            )
+        if not 0.0 < self.topk_frac <= 1.0:
+            raise ValueError(f"topk_frac must be in (0, 1], got {self.topk_frac}")
+        if self.network != "auto" and self.network not in NETWORKS:
+            raise ValueError(
+                f"network must be one of {sorted(NETWORKS)} (or 'auto'), "
+                f"got {self.network!r}"
+            )
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline}")
 
     def with_extra(self, **kwargs) -> "FLConfig":
         """A copy with algorithm-specific knobs merged into ``extra``."""

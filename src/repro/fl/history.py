@@ -6,7 +6,10 @@ wall-clock timing so execution-backend speedups are measurable:
 * the accuracy-vs-round curve (Fig. 3);
 * rounds to reach a target accuracy (Table 4);
 * communication Mb to reach a target accuracy (Table 5);
-* wall-clock seconds per recorded span and for round-0 setup.
+* wall-clock seconds per recorded span and for round-0 setup;
+* per-span upload/download wire bytes and, when a network model or
+  deadline is active, the *simulated* round duration and which clients a
+  deadline cut (:mod:`repro.fl.network`).
 """
 
 from __future__ import annotations
@@ -30,7 +33,17 @@ class RoundRecord:
             round.
         seconds: wall-clock seconds spent since the previous record (covers
             every training round in between when ``eval_every > 1``).
-        extras: free-form per-record annotations.
+        upload_bytes: client→server wire bytes metered in this record's
+            span (compressed when a codec is active; the first record's
+            span includes round-0 setup traffic, so spans sum to the run
+            total).
+        download_bytes: server→client wire bytes for the span.
+        sim_seconds: simulated network + compute seconds for the span
+            (0.0 under the ideal network with no deadline).
+        extras: free-form per-record annotations.  The engine stores
+            ``"deadline_dropped"`` (client ids a deadline cut during the
+            span) and ``"unavailable"`` (ids skipped by the availability
+            draw) when non-empty.
     """
 
     round: int
@@ -38,6 +51,9 @@ class RoundRecord:
     train_loss: float
     cumulative_mb: float
     seconds: float = 0.0
+    upload_bytes: int = 0
+    download_bytes: int = 0
+    sim_seconds: float = 0.0
     extras: dict = field(default_factory=dict)
 
 
@@ -95,6 +111,32 @@ class History:
         """Wall-clock seconds per record span, aligned with :attr:`rounds`."""
         return np.array([r.seconds for r in self.records])
 
+    @property
+    def upload_bytes(self) -> np.ndarray:
+        """Upload wire bytes per record span, aligned with :attr:`rounds`."""
+        return np.array([r.upload_bytes for r in self.records], dtype=np.int64)
+
+    @property
+    def download_bytes(self) -> np.ndarray:
+        """Download wire bytes per record span, aligned with :attr:`rounds`."""
+        return np.array([r.download_bytes for r in self.records], dtype=np.int64)
+
+    @property
+    def sim_seconds(self) -> np.ndarray:
+        """Simulated seconds per record span, aligned with :attr:`rounds`."""
+        return np.array([r.sim_seconds for r in self.records])
+
+    def total_sim_seconds(self) -> float:
+        """Total simulated duration of the run (0.0 for an ideal network)."""
+        return float(self.sim_seconds.sum()) if self.records else 0.0
+
+    def deadline_dropped(self) -> list[int]:
+        """Every client id a per-round deadline cut, in record order."""
+        out: list[int] = []
+        for r in self.records:
+            out.extend(r.extras.get("deadline_dropped", ()))
+        return out
+
     def total_seconds(self, include_setup: bool = True) -> float:
         """Total measured wall-clock time of the run.
 
@@ -151,4 +193,8 @@ class History:
             "cumulative_mb": self.cumulative_mb.tolist(),
             "seconds": self.seconds.tolist(),
             "setup_seconds": self.setup_seconds,
+            "upload_bytes": self.upload_bytes.tolist(),
+            "download_bytes": self.download_bytes.tolist(),
+            "sim_seconds": self.sim_seconds.tolist(),
+            "extras": [dict(r.extras) for r in self.records],
         }

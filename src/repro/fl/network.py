@@ -1,0 +1,302 @@
+"""Simulated client networks: bandwidth, latency, stragglers, availability.
+
+The seed engine's wire was ideal — infinitely fast, always up.  This
+module gives every client a *link* (uplink/downlink bandwidth, latency)
+and a *compute speed factor*, all drawn once per run from the federation's
+root seed, plus a per-round availability draw.  The engine uses them to
+
+* skip unavailable clients before any transfer happens,
+* compute each participant's **simulated round time**
+  (``latency + download + compute + latency + upload``),
+* enforce an optional per-round **deadline** that cuts off late clients
+  (the server aggregates the partial cohort; the cut client's upload is
+  never metered, and ``History`` records who was dropped), and
+* record the simulated duration of every round alongside the real
+  wall-clock timing from the execution backends.
+
+Everything here runs on the main thread with named-key randomness
+(:class:`repro.utils.rng.RngFactory`), so enabling a network model keeps
+runs bit-for-bit identical across execution backends.
+
+Profiles
+--------
+
+========== =============================================================
+``ideal``    infinite bandwidth, zero latency, uniform compute, always up
+``uniform``  one shared finite link for every client (honest baseline)
+``hetero``   log-normal per-client bandwidth/compute, uniform latency
+``stragglers`` ``hetero`` plus a slow tail: a fraction of clients compute
+             ``straggler_factor`` times slower
+``flaky``    ``hetero`` plus Bernoulli per-round availability
+========== =============================================================
+
+Knobs come from ``FLConfig.extra`` (prefix ``net_``): ``net_mbps`` (mean
+link speed, megabits/s), ``net_latency_s``, ``net_step_seconds`` (compute
+seconds per local SGD step at speed factor 1), ``net_sigma`` (log-normal
+spread), ``net_straggler_frac`` / ``net_straggler_factor``, and
+``net_availability``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.utils.rng import RngFactory
+
+__all__ = [
+    "ClientLink",
+    "NetworkModel",
+    "IdealNetwork",
+    "UniformNetwork",
+    "HeterogeneousNetwork",
+    "StragglerNetwork",
+    "FlakyNetwork",
+    "NETWORKS",
+    "make_network",
+    "resolve_deadline",
+]
+
+#: bytes per second per Mbit/s (decimal, like the paper's Mb)
+_BYTES_PER_MBPS = 1_000_000.0 / 8.0
+
+
+class ClientLink:
+    """One client's static link and compute characteristics."""
+
+    __slots__ = ("down_bps", "up_bps", "latency_s", "compute_factor")
+
+    def __init__(
+        self,
+        down_bps: float,
+        up_bps: float,
+        latency_s: float,
+        compute_factor: float,
+    ):
+        self.down_bps = float(down_bps)  # bytes / second
+        self.up_bps = float(up_bps)
+        self.latency_s = float(latency_s)
+        self.compute_factor = float(compute_factor)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ClientLink(down={self.down_bps:.0f}B/s, up={self.up_bps:.0f}B/s, "
+            f"lat={self.latency_s * 1e3:.1f}ms, x{self.compute_factor:.2f})"
+        )
+
+
+class NetworkModel:
+    """Base class: per-client links drawn lazily from the run's root seed.
+
+    Subclasses override :meth:`_draw_link` (and optionally
+    ``availability``).  Draws are keyed per client id, so a client's link
+    does not depend on how many other clients were ever asked about.
+    """
+
+    #: registry name; subclasses set this
+    name: str = "base"
+    #: probability a client is reachable in any given round (1.0 = always)
+    availability: float = 1.0
+
+    def __init__(self, num_clients: int, rngs: RngFactory, extra: dict | None = None):
+        self.num_clients = int(num_clients)
+        self.rngs = rngs
+        extra = extra or {}
+        self.mean_bps = float(extra.get("net_mbps", 20.0)) * _BYTES_PER_MBPS
+        self.latency_s = float(extra.get("net_latency_s", 0.05))
+        #: simulated seconds one local SGD step costs at compute factor 1
+        self.step_seconds = float(extra.get("net_step_seconds", 0.01))
+        self.sigma = float(extra.get("net_sigma", 0.5))
+        if "net_availability" in extra:
+            self.availability = float(extra["net_availability"])
+        if not 0.0 < self.availability <= 1.0:
+            raise ValueError(
+                f"net_availability must be in (0, 1], got {self.availability}"
+            )
+        self._links: dict[int, ClientLink] = {}
+
+    # -- static per-client draws ---------------------------------------
+    def link(self, client_id: int) -> ClientLink:
+        """The client's link, drawn once per run from a client-keyed RNG."""
+        cid = int(client_id)
+        got = self._links.get(cid)
+        if got is None:
+            got = self._draw_link(self.rngs.make("network.link", cid))
+            self._links[cid] = got
+        return got
+
+    def _draw_link(self, rng: np.random.Generator) -> ClientLink:
+        return ClientLink(self.mean_bps, self.mean_bps, self.latency_s, 1.0)
+
+    # -- per-round draws -----------------------------------------------
+    def available_mask(self, round_idx: int, client_ids: np.ndarray) -> np.ndarray:
+        """Boolean availability of ``client_ids`` for one round.
+
+        One round-keyed generator serves the whole cohort, drawn in the
+        (sorted) selection order — deterministic on any backend.
+        """
+        if self.availability >= 1.0:
+            return np.ones(len(client_ids), dtype=bool)
+        rng = self.rngs.make("network.avail", round_idx)
+        return rng.random(len(client_ids)) < self.availability
+
+    # -- timing --------------------------------------------------------
+    def client_seconds(
+        self, client_id: int, down_nbytes: int, up_nbytes: int, steps: int
+    ) -> float:
+        """Simulated seconds for one client's full round trip."""
+        ln = self.link(client_id)
+        transfer = down_nbytes / ln.down_bps + up_nbytes / ln.up_bps
+        compute = steps * self.step_seconds * ln.compute_factor
+        return 2.0 * ln.latency_s + transfer + compute
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(clients={self.num_clients})"
+
+
+class IdealNetwork(NetworkModel):
+    """The seed behaviour: free, instant, always available."""
+
+    name = "ideal"
+
+    def _draw_link(self, rng: np.random.Generator) -> ClientLink:
+        return ClientLink(np.inf, np.inf, 0.0, 1.0)
+
+    def client_seconds(self, client_id, down_nbytes, up_nbytes, steps) -> float:
+        return steps * self.step_seconds  # compute is never free
+
+    def available_mask(self, round_idx, client_ids) -> np.ndarray:
+        return np.ones(len(client_ids), dtype=bool)
+
+
+class UniformNetwork(NetworkModel):
+    """Every client shares one finite link (``net_mbps``/``net_latency_s``)."""
+
+    name = "uniform"
+
+
+class HeterogeneousNetwork(NetworkModel):
+    """Log-normal per-client bandwidth and compute speed.
+
+    Bandwidths are ``mean_bps * exp(sigma * z - sigma^2 / 2)`` (median
+    below mean, heavy fast tail — the usual shape of measured client
+    uplinks), and compute factors an independent log-normal with the same
+    spread, so slow networks and slow CPUs are uncorrelated.
+    """
+
+    name = "hetero"
+
+    def _draw_link(self, rng: np.random.Generator) -> ClientLink:
+        z = rng.standard_normal(3)
+        adjust = -0.5 * self.sigma**2
+        down = self.mean_bps * float(np.exp(self.sigma * z[0] + adjust))
+        up = self.mean_bps * float(np.exp(self.sigma * z[1] + adjust))
+        compute = float(np.exp(self.sigma * z[2] - adjust))
+        latency = self.latency_s * float(rng.uniform(0.5, 1.5))
+        return ClientLink(down, up, latency, compute)
+
+
+class StragglerNetwork(HeterogeneousNetwork):
+    """``hetero`` plus a slow tail of compute stragglers.
+
+    ``net_straggler_frac`` of clients (Bernoulli per client) compute
+    ``net_straggler_factor`` times slower — the population a per-round
+    deadline is designed to cut.
+    """
+
+    name = "stragglers"
+
+    def __init__(self, num_clients, rngs, extra=None):
+        super().__init__(num_clients, rngs, extra)
+        extra = extra or {}
+        self.straggler_frac = float(extra.get("net_straggler_frac", 0.25))
+        self.straggler_factor = float(extra.get("net_straggler_factor", 8.0))
+        if not 0.0 <= self.straggler_frac <= 1.0:
+            raise ValueError(
+                f"net_straggler_frac must be in [0, 1], got {self.straggler_frac}"
+            )
+
+    def _draw_link(self, rng: np.random.Generator) -> ClientLink:
+        ln = super()._draw_link(rng)
+        if rng.random() < self.straggler_frac:
+            ln.compute_factor *= self.straggler_factor
+        return ln
+
+
+class FlakyNetwork(HeterogeneousNetwork):
+    """``hetero`` with per-round Bernoulli availability (default 0.8)."""
+
+    name = "flaky"
+    availability = 0.8
+
+
+#: registry used by :func:`make_network` and ``FLConfig`` validation
+NETWORKS = {
+    "ideal": IdealNetwork,
+    "uniform": UniformNetwork,
+    "hetero": HeterogeneousNetwork,
+    "stragglers": StragglerNetwork,
+    "flaky": FlakyNetwork,
+}
+
+
+def make_network(
+    config=None,
+    num_clients: int = 0,
+    rngs: RngFactory | None = None,
+    network: str | None = None,
+) -> NetworkModel:
+    """Build the simulated network for one federation run.
+
+    Args:
+        config: an :class:`~repro.fl.config.FLConfig` supplying the
+            ``network`` knob and ``extra`` profile parameters (optional).
+        num_clients: federation size (for availability vectors).
+        rngs: the run's :class:`~repro.utils.rng.RngFactory` (a fresh
+            seed-0 factory when omitted, for standalone use in tests).
+        network: explicit profile name overriding the config.
+
+    ``"auto"`` resolves from the ``REPRO_NETWORK`` environment variable
+    (default ``ideal``), mirroring ``REPRO_BACKEND``.
+
+    Returns:
+        A fresh :class:`NetworkModel` bound to the run's seed.
+    """
+    spec = network
+    if spec is None:
+        spec = getattr(config, "network", "ideal") if config is not None else "ideal"
+    spec = str(spec).strip().lower()
+    if spec == "auto":
+        spec = os.environ.get("REPRO_NETWORK", "ideal").strip().lower() or "ideal"
+    try:
+        cls = NETWORKS[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown network profile {spec!r}; available: "
+            f"{sorted(NETWORKS)} (or 'auto')"
+        ) from None
+    if rngs is None:
+        rngs = RngFactory(0)
+    extra = getattr(config, "extra", None) if config is not None else None
+    return cls(num_clients, rngs, extra)
+
+
+def resolve_deadline(config=None) -> float | None:
+    """The run's per-round deadline in simulated seconds (None = none).
+
+    ``FLConfig.deadline`` wins; when unset, the ``REPRO_DEADLINE``
+    environment variable applies (so the experiments CLI can switch every
+    cell of a table at once).
+    """
+    deadline = getattr(config, "deadline", None) if config is not None else None
+    if deadline is None:
+        raw = os.environ.get("REPRO_DEADLINE", "").strip()
+        if raw:
+            try:
+                deadline = float(raw)
+            except ValueError:
+                raise ValueError(f"REPRO_DEADLINE must be a float, got {raw!r}")
+    if deadline is not None and deadline <= 0:
+        raise ValueError(f"deadline must be positive, got {deadline}")
+    return deadline

@@ -8,6 +8,15 @@ array byte sizes, every random draw comes from a named child of the run's
 root seed, and per-round wall-clock time is recorded in the history, so
 runs are bit-for-bit reproducible *and* measurable.
 
+Between client execution and aggregation sits the **wire layer**
+(:mod:`repro.fl.codecs` / :mod:`repro.fl.network`): each upload's delta is
+encoded by the configured codec (quantization, top-k sparsification), the
+compressed byte count is metered and drives the simulated network timing,
+a per-round deadline may cut late clients, and the server decodes — so
+aggregation operates on what was actually transmitted.  All of it runs on
+the main thread after the round's client tasks return, preserving the
+backend-equivalence contract below.
+
 Round convention (paper Alg. 1): round 0 is the setup round (FedClust's
 one-shot clustering happens there); training rounds are 1..T.
 
@@ -43,6 +52,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.data.federated import ClientData, FederatedDataset
+from repro.fl.codecs import Codec, IdentityCodec, make_codec
 from repro.fl.comm import CommTracker
 from repro.fl.config import FLConfig
 from repro.fl.execution import (
@@ -51,6 +61,7 @@ from repro.fl.execution import (
     SerialBackend,
     make_backend,
 )
+from repro.fl.network import IdealNetwork, NetworkModel, make_network, resolve_deadline
 from repro.fl.history import History, RoundRecord
 from repro.fl.sampling import sample_clients
 from repro.fl.training import evaluate_accuracy, local_sgd
@@ -188,6 +199,10 @@ class FederatedAlgorithm(ABC):
         self.comm = CommTracker()
         self.history = History(self.name, fed.name)
         self._backend: ExecutionBackend | None = None
+        #: wire layer, built by ``run`` from the config (introspectable
+        #: afterwards: ``algo.codec.name``, ``algo.network.name``)
+        self.codec: Codec | None = None
+        self.network: NetworkModel | None = None
         self._ran = False
 
     @property
@@ -250,6 +265,38 @@ class FederatedAlgorithm(ABC):
         return self.model_bytes
 
     # ------------------------------------------------------------------
+    # wire layer (codec) hooks
+    # ------------------------------------------------------------------
+    def wire_reference(self, update: ClientUpdate, round_idx: int) -> np.ndarray:
+        """The parameter vector the client *downloaded* this round.
+
+        The codec encodes ``update.params - wire_reference`` (the delta
+        that actually crosses the wire) and the server reconstructs from
+        the same reference, which it still holds because ``aggregate`` has
+        not yet run.  Algorithms whose clients train a model other than
+        ``params_for_client`` (e.g. IFCA's argmin choice) override this.
+        """
+        return self.params_for_client(update.client_id, round_idx)
+
+    def wire_slice(self) -> slice:
+        """Portion of the flat parameter vector that crosses the wire.
+
+        The codec compresses exactly this slice; anything outside it never
+        leaves the client (LG-FedAvg's local representation layers) and is
+        kept bit-exact in the update.  Defaults to the whole vector.
+        """
+        return slice(None)
+
+    def wire_payload_bytes(self) -> int:
+        """Seed-metering cost of the codec-compressible payload.
+
+        ``upload_bytes()`` minus this is protocol overhead the codec does
+        not touch (SCAFFOLD's control variate rides uncompressed);
+        overridden alongside :meth:`wire_slice` (LG's global segment).
+        """
+        return self.model_bytes
+
+    # ------------------------------------------------------------------
     # execution state (process-backend synchronization)
     # ------------------------------------------------------------------
     def exec_state(self, client_ids: Sequence[int] | None = None) -> dict:
@@ -299,10 +346,17 @@ class FederatedAlgorithm(ABC):
     def run(self) -> History:
         """Execute the federation and return its history.
 
-        The round loop: sample clients, meter downloads, draw dropouts,
-        execute the surviving clients' updates on the configured backend,
-        meter uploads, aggregate, and (on eval rounds) record accuracy,
-        communication, and wall-clock timing.
+        The round loop: sample clients, drop the unavailable (network
+        model), meter downloads, draw dropouts, execute the surviving
+        clients' updates on the configured backend, pass each upload
+        through the wire layer (codec encode → deadline check → meter
+        compressed bytes → decode), aggregate the delivered cohort, and
+        (on eval rounds) record accuracy, communication, simulated round
+        time, and wall-clock timing.
+
+        With ``codec="none"``, ``network="ideal"``, and no deadline (the
+        defaults) every wire-layer branch is skipped and the loop is
+        bit-for-bit the seed behaviour.
 
         Returns:
             The populated :class:`~repro.fl.history.History` (also available
@@ -316,6 +370,12 @@ class FederatedAlgorithm(ABC):
         self._ran = True
         cfg = self.config
         self._backend = make_backend(cfg)
+        self.codec = make_codec(cfg)
+        self.network = make_network(cfg, self.fed.num_clients, self.rngs)
+        deadline = resolve_deadline(cfg)
+        identity = isinstance(self.codec, IdentityCodec)
+        ideal = isinstance(self.network, IdealNetwork)
+        simulate = (not ideal) or deadline is not None
         if not isinstance(self._backend, SerialBackend):
             # Layer-internal generators (e.g. nn.layers.Dropout) draw in
             # forward-call order, which parallel backends cannot reproduce;
@@ -339,28 +399,91 @@ class FederatedAlgorithm(ABC):
             self.setup()
             mark = time.perf_counter()
             self.history.setup_seconds = mark - t0
+            # span accumulators: reset at every RoundRecord so spans sum to
+            # run totals (the first span covers round-0 setup traffic too)
+            last_up, last_down = 0, 0
+            span_sim = 0.0
+            span_dropped: list[int] = []
+            span_unavailable: list[int] = []
             for round_idx in range(1, cfg.rounds + 1):
                 selected = self.select_clients(round_idx)
+                if not ideal:
+                    mask = self.network.available_mask(round_idx, selected)
+                    span_unavailable.extend(int(c) for c in selected[~mask])
+                    selected = selected[mask]
                 dropout_rng = (
                     self.rngs.make("dropout", round_idx) if cfg.dropout_rate > 0 else None
                 )
                 survivors: list[int] = []
+                down_nbytes: dict[int, int] = {}
                 for cid in selected:
-                    self.comm.record_download(
-                        round_idx, self.download_bytes(int(cid), round_idx)
-                    )
+                    nb = self.download_bytes(int(cid), round_idx)
+                    down_nbytes[int(cid)] = nb
+                    self.comm.record_download(round_idx, nb)
                     if dropout_rng is not None and dropout_rng.random() < cfg.dropout_rate:
                         # Client dropped out after receiving the model (paper
                         # §4.2): no upload, no contribution to aggregation.
                         continue
                     survivors.append(int(cid))
                 updates = self._backend.run_updates(self, round_idx, survivors)
-                for cid in survivors:
-                    self.comm.record_upload(round_idx, self.upload_bytes(cid, round_idx))
-                self.aggregate(round_idx, updates)
+                # -- wire layer (main thread: codec state and metering) ----
+                delivered: list[ClientUpdate] = []
+                cut: list[int] = []
+                round_sim = 0.0
+                for u in updates:
+                    protocol_up = self.upload_bytes(u.client_id, round_idx)
+                    encoded = None
+                    wire_up = logical_up = protocol_up
+                    if protocol_up > 0:
+                        # One logical baseline for every codec row, identity
+                        # included: the raw float64 payload the engine
+                        # actually ships.  Protocol bytes beyond the payload
+                        # (SCAFFOLD's control variate, ...) ride uncompressed
+                        # and are metered identically in both columns.
+                        sl = self.wire_slice()
+                        overhead = max(0, protocol_up - self.wire_payload_bytes())
+                        logical_up = int(u.params[sl].nbytes) + overhead
+                        if not identity:
+                            ref = self.wire_reference(u, round_idx)
+                            encoded = self.codec.encode(
+                                u.client_id,
+                                u.params[sl] - ref[sl],
+                                self.rngs.make(f"codec.client{u.client_id}", round_idx),
+                            )
+                            wire_up = encoded.nbytes + overhead
+                    if simulate:
+                        t = self.network.client_seconds(
+                            u.client_id, down_nbytes[u.client_id], wire_up, u.steps
+                        )
+                        if deadline is not None and t > deadline:
+                            # Cut off mid-round: the upload never completes
+                            # (not metered), error-feedback residuals stay
+                            # as they were, and the update is discarded.
+                            cut.append(u.client_id)
+                            continue
+                        round_sim = max(round_sim, t)
+                    self.comm.record_upload(round_idx, wire_up, logical_up)
+                    if encoded is not None:
+                        self.codec.commit(u.client_id, encoded)
+                        received = u.params.copy()
+                        received[sl] = ref[sl] + self.codec.decode(encoded)
+                        u.params = received
+                    delivered.append(u)
+                if cut and deadline is not None:
+                    round_sim = deadline  # the server waits out the budget
+                span_sim += round_sim
+                span_dropped.extend(cut)
+                self.aggregate(round_idx, delivered)
                 if round_idx % cfg.eval_every == 0 or round_idx == cfg.rounds:
                     acc = self.evaluate()
-                    mean_loss = float(np.mean([u.loss for u in updates])) if updates else 0.0
+                    mean_loss = (
+                        float(np.mean([u.loss for u in delivered])) if delivered else 0.0
+                    )
+                    extras: dict = {}
+                    if span_dropped:
+                        extras["deadline_dropped"] = list(span_dropped)
+                    if span_unavailable:
+                        extras["unavailable"] = list(span_unavailable)
                     now = time.perf_counter()
                     self.history.append(
                         RoundRecord(
@@ -369,9 +492,17 @@ class FederatedAlgorithm(ABC):
                             train_loss=mean_loss,
                             cumulative_mb=self.comm.total_mb(),
                             seconds=now - mark,
+                            upload_bytes=self.comm.total_up - last_up,
+                            download_bytes=self.comm.total_down - last_down,
+                            sim_seconds=span_sim,
+                            extras=extras,
                         )
                     )
                     mark = now
+                    last_up, last_down = self.comm.total_up, self.comm.total_down
+                    span_sim = 0.0
+                    span_dropped = []
+                    span_unavailable = []
         finally:
             self._backend.close()
             self._backend = None

@@ -66,16 +66,22 @@ def load_history(path: str | Path) -> History:
     """
     data = json.loads(Path(path).read_text())
     h = History(data["algorithm"], data["dataset"])
-    seconds = data.get("seconds") or [0.0] * len(data["rounds"])
+    n = len(data["rounds"])
+    seconds = data.get("seconds") or [0.0] * n
+    up = data.get("upload_bytes") or [0] * n
+    down = data.get("download_bytes") or [0] * n
+    sim = data.get("sim_seconds") or [0.0] * n
+    extras = data.get("extras") or [{} for _ in range(n)]
     h.setup_seconds = float(data.get("setup_seconds", 0.0))
-    for r, acc, loss, mb, sec in zip(
+    for r, acc, loss, mb, sec, ub, db, ss, ex in zip(
         data["rounds"], data["accuracy"], data["train_loss"], data["cumulative_mb"],
-        seconds,
+        seconds, up, down, sim, extras,
     ):
         h.append(
             RoundRecord(
                 round=int(r), accuracy=acc, train_loss=loss, cumulative_mb=mb,
-                seconds=float(sec),
+                seconds=float(sec), upload_bytes=int(ub), download_bytes=int(db),
+                sim_seconds=float(ss), extras=dict(ex),
             )
         )
     return h
