@@ -7,12 +7,16 @@ Usage::
     python -m repro.experiments all            # everything, bench scale
     python -m repro.experiments table1 --backend process --workers 4
     python -m repro.experiments table5 --codec int8 --network hetero
+    python -m repro.experiments table1 --network stragglers --scheduler buffered
 
 Artifacts print to stdout in the paper's row format.  ``--backend`` /
 ``--workers`` pick the client-execution backend (results are bit-for-bit
 identical across backends; only wall-clock changes).  ``--codec`` /
 ``--topk-frac`` / ``--network`` / ``--deadline`` configure the wire layer
-(upload compression and the simulated network) for every cell at once.
+(upload compression and the simulated network) for every cell at once,
+and ``--scheduler`` / ``--buffer-size`` / ``--staleness-alpha`` /
+``--over-select-frac`` pick the control-loop scheduler (sync / semisync /
+buffered rounds on the simulated clock).
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ import sys
 
 from repro.fl.codecs import CODECS
 from repro.fl.network import NETWORKS
+from repro.fl.scheduler import SCHEDULERS
 
 from repro.experiments import (
     ALL_METHODS,
@@ -137,7 +142,42 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--deadline", type=float, default=None,
                         help="per-round deadline in simulated seconds "
                              "(late clients are cut from aggregation)")
+    parser.add_argument("--scheduler", choices=sorted(SCHEDULERS), default=None,
+                        help="control-loop scheduler (default: sync, or the "
+                             "REPRO_SCHEDULER environment variable)")
+    parser.add_argument("--buffer-size", type=int, default=None,
+                        help="arrivals per buffered-scheduler flush (default: "
+                             "half the concurrency, min 2, capped at the "
+                             "cohort)")
+    parser.add_argument("--staleness-alpha", type=float, default=None,
+                        help="staleness-discount strength for buffered "
+                             "aggregation weights")
+    parser.add_argument("--over-select-frac", type=float, default=None,
+                        help="extra cohort fraction the semisync scheduler "
+                             "over-selects")
     args = parser.parse_args(argv)
+
+    effective_scheduler = args.scheduler or os.environ.get(
+        "REPRO_SCHEDULER", "sync"
+    ).strip().lower()
+    if (
+        args.buffer_size is not None or args.staleness_alpha is not None
+    ) and effective_scheduler != "buffered":
+        parser.error(
+            "--buffer-size/--staleness-alpha only apply to the buffered "
+            "scheduler; also pass --scheduler buffered (or set "
+            "REPRO_SCHEDULER)"
+        )
+    if args.over_select_frac is not None and effective_scheduler != "semisync":
+        parser.error(
+            "--over-select-frac only applies to the semisync scheduler; "
+            "also pass --scheduler semisync (or set REPRO_SCHEDULER)"
+        )
+    if args.deadline is not None and effective_scheduler == "buffered":
+        parser.error(
+            "--deadline has no effect with the buffered scheduler (there "
+            "is no round barrier to enforce it at); use sync or semisync"
+        )
 
     effective_codec = args.codec or os.environ.get(
         "REPRO_CODEC", "none"
@@ -168,6 +208,8 @@ def main(argv: list[str] | None = None) -> int:
         for key in (
             "REPRO_BACKEND", "REPRO_WORKERS", "REPRO_CODEC",
             "REPRO_TOPK_FRAC", "REPRO_NETWORK", "REPRO_DEADLINE",
+            "REPRO_SCHEDULER", "REPRO_BUFFER_SIZE",
+            "REPRO_STALENESS_ALPHA", "REPRO_OVER_SELECT_FRAC",
         )
     }
     if args.backend is not None:
@@ -182,6 +224,14 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_NETWORK"] = args.network
     if args.deadline is not None:
         os.environ["REPRO_DEADLINE"] = str(args.deadline)
+    if args.scheduler is not None:
+        os.environ["REPRO_SCHEDULER"] = args.scheduler
+    if args.buffer_size is not None:
+        os.environ["REPRO_BUFFER_SIZE"] = str(args.buffer_size)
+    if args.staleness_alpha is not None:
+        os.environ["REPRO_STALENESS_ALPHA"] = str(args.staleness_alpha)
+    if args.over_select_frac is not None:
+        os.environ["REPRO_OVER_SELECT_FRAC"] = str(args.over_select_frac)
 
     scale = SCALES[args.scale]
     datasets = args.dataset or DATASETS

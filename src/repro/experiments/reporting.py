@@ -46,7 +46,10 @@ def format_scalar_table(table: dict, title: str = "", fmt: str = "{:.2f}") -> st
     A ``comm`` block (from :func:`~repro.experiments.tables.table_comm_cost`)
     appends a total-traffic section: metered wire Mb next to the logical
     uncompressed Mb per cell, so codec savings are visible in the same
-    artifact as the paper's Mb-to-target numbers.
+    artifact as the paper's Mb-to-target numbers.  A ``sim_to_target``
+    block appends the simulated seconds each method needed to reach the
+    same target accuracy (meaningful under a non-ideal ``--network``;
+    all-zero on the default ideal wire).
     """
     datasets = table["datasets"]
     methods = list(table["cells"].keys())
@@ -79,6 +82,21 @@ def format_scalar_table(table: dict, title: str = "", fmt: str = "{:.2f}") -> st
                 wire, logical = table["comm"][m][d]
                 cells.append(f"{wire:.2f}/{logical:.2f}")
             lines.append(_row(m, cells, comm_widths))
+    if "sim_to_target" in table:
+        sim_widths = [widths[0]] + [12] * len(datasets)
+        lines.append("")
+        lines.append(
+            "Simulated seconds to target accuracy (virtual clock; 0 on the "
+            "ideal network)"
+        )
+        lines.append(_row("Method", [d.upper() for d in datasets], sim_widths))
+        lines.append("-" * (sum(sim_widths) + 2 * len(sim_widths)))
+        for m in methods:
+            cells = []
+            for d in datasets:
+                v = table["sim_to_target"][m][d]
+                cells.append(_MISSING if v is None else f"{v:.2f}")
+            lines.append(_row(m, cells, sim_widths))
     return "\n".join(lines)
 
 

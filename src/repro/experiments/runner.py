@@ -48,6 +48,10 @@ def run_cell(
     topk_frac: float | None = None,
     network: str | None = None,
     deadline: float | None = None,
+    scheduler: str | None = None,
+    buffer_size: int | None = None,
+    staleness_alpha: float | None = None,
+    over_select_frac: float | None = None,
 ) -> CellResult:
     """Run one (dataset, method, setting) cell at the given scale.
 
@@ -68,6 +72,11 @@ def run_cell(
         topk_frac: kept fraction for the ``topk`` codec.
         network: simulated network profile shorthand (``repro.fl.network``).
         deadline: per-round deadline shorthand, in simulated seconds.
+        scheduler: control-loop scheduler shorthand
+            (``repro.fl.scheduler``: sync / semisync / buffered).
+        buffer_size: arrivals per ``buffered`` flush.
+        staleness_alpha: staleness-discount strength for ``buffered``.
+        over_select_frac: over-selection fraction for ``semisync``.
 
     Returns:
         The completed :class:`CellResult`.
@@ -85,6 +94,14 @@ def run_cell(
         overrides["network"] = network
     if deadline is not None:
         overrides["deadline"] = deadline
+    if scheduler is not None:
+        overrides["scheduler"] = scheduler
+    if buffer_size is not None:
+        overrides["buffer_size"] = buffer_size
+    if staleness_alpha is not None:
+        overrides["staleness_alpha"] = staleness_alpha
+    if over_select_frac is not None:
+        overrides["over_select_frac"] = over_select_frac
     fed = make_federation(dataset, setting, scale, seed=seed)
     model_fn = make_model_fn(dataset, fed, scale)
     cfg = scale.fl_config(**overrides)

@@ -121,10 +121,17 @@ def table_comm_cost(
     block with each cell's *total* run traffic — metered wire Mb next to
     the logical (uncompressed float64) Mb — so a single command shows both
     the Table-5 numbers and what a codec saved
-    (``python -m repro.experiments table5 --codec int8``).
+    (``python -m repro.experiments table5 --codec int8``), plus a
+    ``sim_to_target`` block with the *simulated* seconds to the same
+    target (:meth:`~repro.fl.history.History.sim_seconds_to_target`) —
+    the scheduler comparison's metric.  The simulated column is all-zero
+    under the default ideal network; pair it with ``--network`` and
+    ``--scheduler`` (``python -m repro.experiments table5 --network
+    stragglers --scheduler buffered``).
     """
     cells: dict[str, dict[str, float | None]] = {m: {} for m in methods}
     comm: dict[str, dict[str, tuple[float, float]]] = {m: {} for m in methods}
+    sim_to_target: dict[str, dict[str, float | None]] = {m: {} for m in methods}
     targets: dict[str, float] = {}
     for dataset in datasets:
         by_method = run_methods(
@@ -143,12 +150,18 @@ def table_comm_cost(
                 float(np.mean([r.algorithm.comm.total_mb() for r in runs])),
                 float(np.mean([r.algorithm.comm.total_logical_mb() for r in runs])),
             )
+            sims = [r.history.sim_seconds_to_target(target) for r in runs]
+            sim_reached = [v for v in sims if v is not None]
+            sim_to_target[method][dataset] = (
+                float(np.mean(sim_reached)) if len(sim_reached) == len(sims) else None
+            )
     return {
         "setting": setting,
         "datasets": list(datasets),
         "targets": targets,
         "cells": cells,
         "comm": comm,
+        "sim_to_target": sim_to_target,
     }
 
 

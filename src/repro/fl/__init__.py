@@ -36,6 +36,15 @@ from repro.fl.network import (
 from repro.fl.fairness import FairnessReport, fairness_report
 from repro.fl.history import History, RoundRecord
 from repro.fl.sampling import sample_clients
+from repro.fl.scheduler import (
+    KNOWN_SCHED_KEYS,
+    SCHEDULERS,
+    BufferedScheduler,
+    Scheduler,
+    SemiSyncScheduler,
+    SyncScheduler,
+    make_scheduler,
+)
 from repro.fl.server import (
     ClientUpdate,
     FederatedAlgorithm,
@@ -66,6 +75,13 @@ __all__ = [
     "NETWORKS",
     "make_network",
     "resolve_deadline",
+    "Scheduler",
+    "SyncScheduler",
+    "SemiSyncScheduler",
+    "BufferedScheduler",
+    "SCHEDULERS",
+    "KNOWN_SCHED_KEYS",
+    "make_scheduler",
     "ExecutionBackend",
     "SerialBackend",
     "ThreadBackend",

@@ -5,7 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.fl.codecs import CODECS
-from repro.fl.network import NETWORKS
+from repro.fl.network import KNOWN_NET_KEYS, NETWORKS
+from repro.fl.scheduler import KNOWN_SCHED_KEYS, SCHEDULERS
 
 __all__ = ["FLConfig"]
 
@@ -55,6 +56,25 @@ class FLConfig:
     #: aggregates the partial cohort.  ``None`` disables the deadline
     #: (``REPRO_DEADLINE`` can still enable it globally).
     deadline: float | None = None
+    #: control-loop scheduler (:mod:`repro.fl.scheduler`): ``"sync"``
+    #: (the seed round loop), ``"semisync"`` (over-select, aggregate the
+    #: first quorum arrivals, cancel the tail), ``"buffered"`` (async
+    #: buffered aggregation with staleness discounts), or ``"auto"``
+    #: (resolve from ``REPRO_SCHEDULER``, defaulting to sync)
+    scheduler: str = "auto"
+    #: arrivals per ``buffered`` flush; 0 picks half the concurrency,
+    #: min 2, capped at the concurrency.  ``buffer_size == cohort`` with
+    #: ``staleness_alpha == 0`` reduces ``buffered`` to ``sync``
+    #: bit-for-bit.
+    buffer_size: int = 0
+    #: staleness-discount strength for ``buffered`` aggregation weights
+    #: (``(1 + staleness) ** -alpha`` in the default polynomial mode;
+    #: 0 disables discounting)
+    staleness_alpha: float = 0.5
+    #: extra fraction of the cohort the ``semisync`` scheduler
+    #: over-selects (it aggregates the first nominal-cohort arrivals and
+    #: cancels the rest)
+    over_select_frac: float = 0.25
     #: algorithm-specific knobs (e.g. FedProx mu, IFCA k, FedClust lambda)
     extra: dict = field(default_factory=dict)
 
@@ -96,6 +116,45 @@ class FLConfig:
             )
         if self.deadline is not None and self.deadline <= 0:
             raise ValueError(f"deadline must be positive, got {self.deadline}")
+        if self.scheduler != "auto" and self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"scheduler must be one of {sorted(SCHEDULERS)} (or 'auto'), "
+                f"got {self.scheduler!r}"
+            )
+        if self.buffer_size < 0:
+            raise ValueError(f"buffer_size must be >= 0, got {self.buffer_size}")
+        if self.staleness_alpha < 0:
+            raise ValueError(
+                f"staleness_alpha must be >= 0, got {self.staleness_alpha}"
+            )
+        if self.over_select_frac < 0:
+            raise ValueError(
+                f"over_select_frac must be >= 0, got {self.over_select_frac}"
+            )
+        # Typo-proof the subsystem prefixes in ``extra``: an unknown
+        # ``net_*``/``sched_*`` knob would otherwise be silently ignored.
+        for key in self.extra:
+            if key.startswith("net_") and key not in KNOWN_NET_KEYS:
+                raise ValueError(
+                    f"unknown network knob {key!r} in FLConfig.extra; "
+                    f"known net_ keys: {sorted(KNOWN_NET_KEYS)}"
+                )
+            if key.startswith("sched_") and key not in KNOWN_SCHED_KEYS:
+                raise ValueError(
+                    f"unknown scheduler knob {key!r} in FLConfig.extra; "
+                    f"known sched_ keys: {sorted(KNOWN_SCHED_KEYS)}"
+                )
+        mode = str(self.extra.get("sched_staleness_mode", "poly")).strip().lower()
+        if mode not in ("poly", "const"):
+            raise ValueError(
+                f"sched_staleness_mode must be 'poly' or 'const', got {mode!r}"
+            )
+        if mode == "const" and self.staleness_alpha > 1.0:
+            raise ValueError(
+                "sched_staleness_mode 'const' uses staleness_alpha as the "
+                f"flat discount and needs it <= 1, got {self.staleness_alpha} "
+                "(it would amplify stale updates)"
+            )
 
     def with_extra(self, **kwargs) -> "FLConfig":
         """A copy with algorithm-specific knobs merged into ``extra``."""

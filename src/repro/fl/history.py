@@ -43,7 +43,12 @@ class RoundRecord:
         extras: free-form per-record annotations.  The engine stores
             ``"deadline_dropped"`` (client ids a deadline cut during the
             span) and ``"unavailable"`` (ids skipped by the availability
-            draw) when non-empty.
+            draw) when non-empty.  Event-driven schedulers
+            (:mod:`repro.fl.scheduler`) additionally store
+            ``"cancelled"`` (ids semisync cancelled after its quorum
+            filled) and ``"events"`` (one dict per delivered upload:
+            ``client``, arrival virtual time ``t``, ``staleness`` in
+            flushes, and the ``flush`` index that merged it).
     """
 
     round: int
@@ -181,6 +186,22 @@ class History:
         reached (None if never) — Table 5's metric."""
         hits = np.flatnonzero(self.accuracies >= target)
         return float(self.cumulative_mb[hits[0]]) if hits.size else None
+
+    def sim_seconds_to_target(self, target: float) -> float | None:
+        """Cumulative *simulated* seconds when the target accuracy is first
+        reached (None if never) — the scheduler benchmarks' metric.
+
+        The virtual-clock analogue of :meth:`mb_to_target`: under a
+        simulated network this measures how long the federation would
+        really have taken to reach the target, which is what the
+        asynchronous schedulers (:mod:`repro.fl.scheduler`) improve.
+        Always 0.0-valued under the ideal network with the sync scheduler
+        (nothing is simulated there).
+        """
+        hits = np.flatnonzero(self.accuracies >= target)
+        if not hits.size:
+            return None
+        return float(np.cumsum(self.sim_seconds)[hits[0]])
 
     def as_dict(self) -> dict:
         """JSON-serializable summary of the history (see ``utils.io``)."""

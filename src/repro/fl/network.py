@@ -54,12 +54,28 @@ __all__ = [
     "StragglerNetwork",
     "FlakyNetwork",
     "NETWORKS",
+    "KNOWN_NET_KEYS",
     "make_network",
     "resolve_deadline",
 ]
 
 #: bytes per second per Mbit/s (decimal, like the paper's Mb)
 _BYTES_PER_MBPS = 1_000_000.0 / 8.0
+
+#: ``FLConfig.extra`` keys the network models understand (prefix
+#: ``net_``); anything else with that prefix is a typo and rejected by
+#: ``FLConfig`` validation.
+KNOWN_NET_KEYS = frozenset(
+    {
+        "net_mbps",
+        "net_latency_s",
+        "net_step_seconds",
+        "net_sigma",
+        "net_straggler_frac",
+        "net_straggler_factor",
+        "net_availability",
+    }
+)
 
 
 class ClientLink:

@@ -1,0 +1,647 @@
+"""Event-driven federation schedulers on the simulated clock.
+
+The seed engine's control loop is strictly synchronous: every round waits
+for its slowest surviving client, so under heterogeneous network profiles
+(:mod:`repro.fl.network`'s ``stragglers``/``flaky``) the simulated
+``sim_seconds`` clock mostly measures waiting.  This module makes the
+*control loop itself* pluggable.  A :class:`Scheduler` owns rounds 1..T of
+a federation run: it composes the engine's round primitives — select →
+wire-down → execute → wire-up → aggregate — on a virtual-clock event
+queue driven by :meth:`NetworkModel.client_seconds
+<repro.fl.network.NetworkModel.client_seconds>`.
+
+Schedulers
+----------
+
+``sync``
+    The seed round loop, extracted.  Selects a cohort, waits for every
+    surviving upload (or the deadline), aggregates, evaluates.  With the
+    default configuration this is **bit-for-bit** the pre-scheduler
+    engine on every execution backend.
+
+``semisync``
+    Over-selects each round's cohort by ``over_select_frac``, waits for
+    the first *quorum* arrivals in virtual time (the nominal cohort
+    size), aggregates them, and cancels the straggling tail — the
+    cancelled clients' uploads never complete, are never metered, and
+    (for error-feedback codecs) never commit their residuals.
+
+``buffered``
+    Buffered asynchronous aggregation in the FedBuff/FedAsync style:
+    up to ``concurrency`` clients run continuously on the virtual clock;
+    the server folds the buffer into its state every ``buffer_size``
+    arrivals via :meth:`FederatedAlgorithm.merge
+    <repro.fl.server.FederatedAlgorithm.merge>`, discounting each
+    update's aggregation weight by its *staleness* (how many buffer
+    flushes happened between the client's dispatch and its merge).
+    Freed slots are re-dispatched at every flush from the then-current
+    model, so fast clients cycle many times while a straggler's slot is
+    stuck — flushes never wait for the tail.  With
+    ``buffer_size == cohort`` and a zero staleness discount
+    (``staleness_alpha=0``) the schedule degenerates to ``sync`` and the
+    run is bit-for-bit identical to it (histories, communication,
+    aggregated parameters).
+
+Selection mirrors the other engine knobs: ``FLConfig(scheduler=...,
+buffer_size=..., staleness_alpha=..., over_select_frac=...)``;
+``scheduler="auto"`` (the default) resolves from ``REPRO_SCHEDULER`` /
+``REPRO_BUFFER_SIZE`` / ``REPRO_STALENESS_ALPHA`` /
+``REPRO_OVER_SELECT_FRAC``, and the experiments CLI exposes
+``--scheduler`` / ``--buffer-size`` / ``--staleness-alpha`` /
+``--over-select-frac``.
+
+Determinism
+-----------
+
+Everything here runs on the main thread with named-key randomness, and
+all event ordering derives from deterministic simulated durations (ties
+broken by dispatch sequence), so every scheduler preserves the engine's
+bit-for-bit backend-equivalence contract.  Asynchronous schedulers fold
+buffers in *dispatch* order (not arrival order) so floating-point
+reductions see a canonical operand order.
+
+Scheduler-specific knobs beyond the four ``FLConfig`` fields live in
+``FLConfig.extra`` under a ``sched_`` prefix (validated against
+:data:`KNOWN_SCHED_KEYS`): ``sched_staleness_mode`` (``"poly"`` —
+``(1+s)^(-alpha)`` — or ``"const"`` — a flat ``alpha`` for any stale
+update) and ``sched_concurrency`` (buffered's concurrent-client pool
+size; 0 = the nominal cohort size).
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.fl.codecs import Encoded, IdentityCodec
+from repro.fl.history import RoundRecord
+from repro.fl.network import IdealNetwork, resolve_deadline
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.fl.server import ClientUpdate, FederatedAlgorithm
+
+__all__ = [
+    "Scheduler",
+    "SyncScheduler",
+    "SemiSyncScheduler",
+    "BufferedScheduler",
+    "SCHEDULERS",
+    "KNOWN_SCHED_KEYS",
+    "make_scheduler",
+    "nominal_cohort",
+]
+
+#: ``FLConfig.extra`` keys the scheduler subsystem understands (prefix
+#: ``sched_``); anything else with that prefix is a typo and rejected by
+#: ``FLConfig`` validation.
+KNOWN_SCHED_KEYS = frozenset({"sched_staleness_mode", "sched_concurrency"})
+
+
+def nominal_cohort(num_clients: int, sample_rate: float) -> int:
+    """Cohort size the sync engine selects per round (Alg. 1 line 9)."""
+    return max(int(round(sample_rate * num_clients)), 1)
+
+
+@dataclass
+class WireItem:
+    """One upload after codec encoding, before delivery.
+
+    Produced by :meth:`Scheduler.encode_upload` at dispatch/upload time
+    (while the server still holds the parameters the client downloaded)
+    and consumed by :meth:`Scheduler.deliver` at arrival time — the split
+    lets asynchronous schedulers put virtual time between the two.
+    """
+
+    update: "ClientUpdate"
+    wire_up: int
+    logical_up: int
+    encoded: Encoded | None = None
+    #: codec reference slice (copied, so later server flushes cannot
+    #: invalidate it) — the decode base
+    ref_sl: np.ndarray | None = None
+    sl: slice | None = None
+
+
+class _Spans(object):
+    """Per-record span accumulators shared by every scheduler.
+
+    Mirrors the seed engine's bookkeeping exactly: wall-clock and
+    simulated seconds, wire bytes, deadline casualties, and availability
+    skips accumulate between evaluation records and reset at each one.
+    """
+
+    def __init__(self, algo: "FederatedAlgorithm"):
+        self.algo = algo
+        self.mark = time.perf_counter()
+        self.last_up = 0
+        self.last_down = 0
+        self.sim = 0.0
+        self.dropped: list[int] = []
+        self.unavailable: list[int] = []
+        self.cancelled: list[int] = []
+        self.events: list[dict] = []
+
+    def flush_record(self, round_idx: int, delivered: list["ClientUpdate"]) -> None:
+        """Evaluate and append one :class:`RoundRecord`, then reset spans."""
+        algo = self.algo
+        acc = algo.evaluate()
+        mean_loss = (
+            float(np.mean([u.loss for u in delivered])) if delivered else 0.0
+        )
+        extras: dict = {}
+        if self.dropped:
+            extras["deadline_dropped"] = list(self.dropped)
+        if self.unavailable:
+            extras["unavailable"] = list(self.unavailable)
+        if self.cancelled:
+            extras["cancelled"] = list(self.cancelled)
+        if self.events:
+            extras["events"] = list(self.events)
+        now = time.perf_counter()
+        algo.history.append(
+            RoundRecord(
+                round=round_idx,
+                accuracy=acc,
+                train_loss=mean_loss,
+                cumulative_mb=algo.comm.total_mb(),
+                seconds=now - self.mark,
+                upload_bytes=algo.comm.total_up - self.last_up,
+                download_bytes=algo.comm.total_down - self.last_down,
+                sim_seconds=self.sim,
+                extras=extras,
+            )
+        )
+        self.mark = now
+        self.last_up, self.last_down = algo.comm.total_up, algo.comm.total_down
+        self.sim = 0.0
+        self.dropped = []
+        self.unavailable = []
+        self.cancelled = []
+        self.events = []
+
+
+class Scheduler(ABC):
+    """Owns a federation's control loop (rounds 1..T, after ``setup``).
+
+    Subclasses compose the round primitives below — ``wire_down`` (select
+    → availability → download metering → dropout), ``execute`` (the
+    backend sweep), ``encode_upload`` / ``trip_seconds`` / ``deliver``
+    (the wire layer split at the virtual-time boundary) — into a
+    schedule.  One scheduler instance serves one run.
+    """
+
+    #: registry name; subclasses set this
+    name: str = "base"
+
+    def __init__(
+        self,
+        buffer_size: int = 0,
+        staleness_alpha: float = 0.5,
+        over_select_frac: float = 0.25,
+    ):
+        self.buffer_size = int(buffer_size)
+        self.staleness_alpha = float(staleness_alpha)
+        self.over_select_frac = float(over_select_frac)
+        if self.buffer_size < 0:
+            raise ValueError(f"buffer_size must be >= 0, got {buffer_size}")
+        if self.staleness_alpha < 0:
+            raise ValueError(
+                f"staleness_alpha must be >= 0, got {staleness_alpha}"
+            )
+        if self.over_select_frac < 0:
+            raise ValueError(
+                f"over_select_frac must be >= 0, got {over_select_frac}"
+            )
+
+    @abstractmethod
+    def run(self, algo: "FederatedAlgorithm") -> None:
+        """Drive rounds 1..T of the federation (``setup`` already ran)."""
+
+    # ------------------------------------------------------------------
+    # round primitives
+    # ------------------------------------------------------------------
+    def begin(self, algo: "FederatedAlgorithm") -> None:
+        """Resolve the run's wire-layer flags (call once, before the loop)."""
+        self.deadline = resolve_deadline(algo.config)
+        self.identity = isinstance(algo.codec, IdentityCodec)
+        self.ideal = isinstance(algo.network, IdealNetwork)
+        #: sync only simulates time when a non-ideal network or a deadline
+        #: is active (the seed behaviour); event-driven schedulers always
+        #: run the virtual clock
+        self.simulate = (not self.ideal) or self.deadline is not None
+
+    def wire_down(
+        self, algo: "FederatedAlgorithm", round_idx: int, selected: np.ndarray
+    ) -> tuple[list[int], dict[int, int], list[int]]:
+        """Availability mask → download metering → dropout draw.
+
+        Args:
+            algo: the running federation.
+            round_idx: RNG key index for the availability/dropout draws
+                (the sync round, or an async scheduler's dispatch cycle).
+            selected: candidate client ids, in selection order.
+
+        Returns:
+            ``(survivors, down_nbytes, unavailable)``: clients that will
+            execute, each selected client's metered download size, and the
+            ids the availability draw skipped.
+        """
+        cfg = algo.config
+        selected = np.asarray(selected, dtype=int)
+        unavailable: list[int] = []
+        if not self.ideal:
+            mask = algo.network.available_mask(round_idx, selected)
+            unavailable = [int(c) for c in selected[~mask]]
+            selected = selected[mask]
+        dropout_rng = (
+            algo.rngs.make("dropout", round_idx) if cfg.dropout_rate > 0 else None
+        )
+        survivors: list[int] = []
+        down_nbytes: dict[int, int] = {}
+        for cid in selected:
+            nb = algo.download_bytes(int(cid), round_idx)
+            down_nbytes[int(cid)] = nb
+            algo.comm.record_download(round_idx, nb)
+            if dropout_rng is not None and dropout_rng.random() < cfg.dropout_rate:
+                # Dropped out after receiving the model (paper §4.2): no
+                # upload, no contribution to aggregation.
+                continue
+            survivors.append(int(cid))
+        return survivors, down_nbytes, unavailable
+
+    def execute(
+        self, algo: "FederatedAlgorithm", round_idx: int, survivors: Sequence[int]
+    ) -> list["ClientUpdate"]:
+        """Run ``client_update`` for the survivors on the active backend."""
+        return algo._backend.run_updates(algo, round_idx, survivors)
+
+    def encode_upload(
+        self, algo: "FederatedAlgorithm", u: "ClientUpdate", key_idx: int
+    ) -> WireItem:
+        """Codec-encode one upload and size it (no metering, no commit).
+
+        Must be called while the server still holds the parameters the
+        client downloaded (``wire_reference``) — i.e. before any
+        intervening aggregation — which is why asynchronous schedulers
+        call it at dispatch time.
+        """
+        protocol_up = algo.upload_bytes(u.client_id, key_idx)
+        item = WireItem(u, protocol_up, protocol_up)
+        if protocol_up > 0:
+            sl = algo.wire_slice()
+            overhead = max(0, protocol_up - algo.wire_payload_bytes())
+            item.logical_up = int(u.params[sl].nbytes) + overhead
+            if not self.identity:
+                ref = algo.wire_reference(u, key_idx)
+                encoded = algo.codec.encode(
+                    u.client_id,
+                    u.params[sl] - ref[sl],
+                    algo.rngs.make(f"codec.client{u.client_id}", key_idx),
+                )
+                item.encoded = encoded
+                item.ref_sl = ref[sl].copy()
+                item.sl = sl
+                item.wire_up = encoded.nbytes + overhead
+        return item
+
+    def trip_seconds(
+        self, algo: "FederatedAlgorithm", item: WireItem, down_nbytes: dict[int, int]
+    ) -> float:
+        """Simulated seconds for the upload's full client round trip."""
+        u = item.update
+        return algo.network.client_seconds(
+            u.client_id, down_nbytes[u.client_id], item.wire_up, u.steps
+        )
+
+    def deliver(
+        self, algo: "FederatedAlgorithm", item: WireItem, meter_idx: int
+    ) -> "ClientUpdate":
+        """Complete an upload: meter wire bytes, commit codec state, decode."""
+        u = item.update
+        algo.comm.record_upload(meter_idx, item.wire_up, item.logical_up)
+        if item.encoded is not None:
+            algo.codec.commit(u.client_id, item.encoded)
+            received = u.params.copy()
+            received[item.sl] = item.ref_sl + algo.codec.decode(item.encoded)
+            u.params = received
+        return u
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class SyncScheduler(Scheduler):
+    """The seed engine's synchronous round loop, extracted verbatim.
+
+    Every round waits for all surviving uploads (or cuts them at the
+    deadline).  With the default configuration this is bit-for-bit the
+    pre-scheduler engine — the cross-backend equivalence contract's
+    reference behaviour.
+    """
+
+    name = "sync"
+
+    def run(self, algo: "FederatedAlgorithm") -> None:
+        cfg = algo.config
+        self.begin(algo)
+        spans = _Spans(algo)
+        for round_idx in range(1, cfg.rounds + 1):
+            selected = algo.select_clients(round_idx)
+            survivors, down_nbytes, unavailable = self.wire_down(
+                algo, round_idx, selected
+            )
+            spans.unavailable.extend(unavailable)
+            updates = self.execute(algo, round_idx, survivors)
+            delivered: list["ClientUpdate"] = []
+            cut: list[int] = []
+            round_sim = 0.0
+            for u in updates:
+                item = self.encode_upload(algo, u, round_idx)
+                if self.simulate:
+                    t = self.trip_seconds(algo, item, down_nbytes)
+                    if self.deadline is not None and t > self.deadline:
+                        # Cut off mid-round: the upload never completes
+                        # (not metered), error-feedback residuals stay as
+                        # they were, and the update is discarded.
+                        cut.append(u.client_id)
+                        continue
+                    round_sim = max(round_sim, t)
+                delivered.append(self.deliver(algo, item, round_idx))
+            if cut and self.deadline is not None:
+                round_sim = self.deadline  # the server waits out the budget
+            spans.sim += round_sim
+            spans.dropped.extend(cut)
+            algo.aggregate(round_idx, delivered)
+            if round_idx % cfg.eval_every == 0 or round_idx == cfg.rounds:
+                spans.flush_record(round_idx, delivered)
+
+
+class SemiSyncScheduler(Scheduler):
+    """Over-select, aggregate the first *quorum* arrivals, cancel the tail.
+
+    Each round samples ``sample_rate * (1 + over_select_frac)`` of the
+    federation, executes every survivor, sorts their simulated round
+    trips, and aggregates the first ``quorum`` (= the nominal sync cohort
+    size) to arrive.  The rest are cancelled: their uploads never
+    complete, cost no wire bytes, and never commit error-feedback
+    residuals — their ids land in ``RoundRecord.extras["cancelled"]``.
+    The round's simulated duration is the quorum-th arrival, so a single
+    straggler no longer gates the round.  A configured ``deadline``
+    still applies on top (arrivals past it count as ``deadline_dropped``).
+
+    Cancelled clients still *train* (in the modeled world their compute
+    happened; the server just ignores the upload), so the simulation pays
+    their real wall-clock cost too — over-selection trades client compute
+    for virtual time, exactly like the deployed systems it models.
+    """
+
+    name = "semisync"
+
+    def run(self, algo: "FederatedAlgorithm") -> None:
+        cfg = algo.config
+        self.begin(algo)
+        spans = _Spans(algo)
+        quorum = nominal_cohort(algo.fed.num_clients, cfg.sample_rate)
+        rate = min(1.0, cfg.sample_rate * (1.0 + self.over_select_frac))
+        for round_idx in range(1, cfg.rounds + 1):
+            selected = algo.select_clients(round_idx, sample_rate=rate)
+            survivors, down_nbytes, unavailable = self.wire_down(
+                algo, round_idx, selected
+            )
+            spans.unavailable.extend(unavailable)
+            updates = self.execute(algo, round_idx, survivors)
+            arrivals = []
+            for seq, u in enumerate(updates):
+                item = self.encode_upload(algo, u, round_idx)
+                t = self.trip_seconds(algo, item, down_nbytes)
+                arrivals.append((t, seq, item))
+            arrivals.sort(key=lambda a: (a[0], a[1]))
+            kept: list[tuple[int, float, WireItem]] = []
+            cut: list[int] = []
+            round_sim = 0.0
+            for t, seq, item in arrivals:
+                if len(kept) >= quorum:
+                    # The server stopped waiting when the quorum filled;
+                    # everything later is cancelled, deadline or not.
+                    spans.cancelled.append(item.update.client_id)
+                elif self.deadline is not None and t > self.deadline:
+                    cut.append(item.update.client_id)
+                else:
+                    kept.append((seq, t, item))
+                    round_sim = max(round_sim, t)
+            if cut and self.deadline is not None and len(kept) < quorum:
+                round_sim = self.deadline
+            # deliver and aggregate in submission (dispatch) order so
+            # floating-point reductions see the canonical operand order
+            kept.sort(key=lambda k: k[0])
+            delivered = []
+            for seq, t, item in kept:
+                delivered.append(self.deliver(algo, item, round_idx))
+                spans.events.append(
+                    {
+                        "client": int(item.update.client_id),
+                        "t": float(t),
+                        "staleness": 0,
+                        "flush": int(round_idx),
+                    }
+                )
+            spans.sim += round_sim
+            spans.dropped.extend(cut)
+            algo.aggregate(round_idx, delivered)
+            if round_idx % cfg.eval_every == 0 or round_idx == cfg.rounds:
+                spans.flush_record(round_idx, delivered)
+
+
+class BufferedScheduler(Scheduler):
+    """Buffered asynchronous aggregation on the virtual-clock event queue.
+
+    Up to ``concurrency`` clients run at once.  Arrivals accumulate into
+    a buffer; every ``buffer_size`` arrivals (or when nothing is left in
+    flight) the server *flushes*: it folds the buffer into its state via
+    :meth:`FederatedAlgorithm.merge` with per-update staleness (flushes
+    completed since each update's dispatch), evaluates on the record
+    cadence, and re-dispatches every free slot from the then-current
+    model.  The run executes the same total client-update budget as sync
+    (``rounds × concurrency`` updates across ``rounds × concurrency /
+    buffer_size`` flushes), so comparisons are schedule-vs-schedule at
+    equal work; ``History`` rounds count flushes.
+
+    The per-round ``deadline`` knob does not apply (there are no round
+    barriers to enforce it at); a client in flight at the end of the run
+    is discarded, like a real federation shutting down.
+    """
+
+    name = "buffered"
+
+    def run(self, algo: "FederatedAlgorithm") -> None:
+        cfg = algo.config
+        self.begin(algo)
+        spans = _Spans(algo)
+        cohort = nominal_cohort(algo.fed.num_clients, cfg.sample_rate)
+        concurrency = int(cfg.extra.get("sched_concurrency", 0)) or cohort
+        if concurrency < 1:
+            raise ValueError(f"sched_concurrency must be >= 1, got {concurrency}")
+        k = self.buffer_size or min(concurrency, max(2, concurrency // 2))
+        total_flushes = max(
+            cfg.rounds, int(np.ceil(cfg.rounds * concurrency / k))
+        )
+        eval_every = cfg.eval_every
+        heap: list[tuple[float, int, int, int, WireItem]] = []
+        running: set[int] = set()
+        buffer: list[tuple[int, int, int, float, "ClientUpdate"]] = []
+        state = {"seq": 0, "cycle": 0}
+        version = 0  # completed flushes (the server's model version)
+        now = 0.0
+        mark_sim = 0.0  # virtual time at the last record
+
+        def dispatch(t: float) -> None:
+            """Fill every free slot with a fresh client at virtual time t."""
+            free = concurrency - len(running)
+            if free <= 0:
+                return
+            state["cycle"] += 1
+            cycle = state["cycle"]
+            pool = algo.select_clients(cycle)
+            picks = [int(c) for c in pool if int(c) not in running]
+            if len(picks) > free:
+                # More candidates than free slots: choose uniformly (the
+                # pool is sorted, so truncating would starve high ids),
+                # then restore sorted order for the wire-down draws.
+                perm = algo.rngs.make("sched.refill", cycle).permutation(len(picks))
+                picks = sorted(picks[i] for i in perm[:free])
+            survivors, down_nbytes, unavailable = self.wire_down(
+                algo, cycle, np.asarray(picks, dtype=int)
+            )
+            spans.unavailable.extend(unavailable)
+            for u in self.execute(algo, cycle, survivors):
+                item = self.encode_upload(algo, u, cycle)
+                dur = self.trip_seconds(algo, item, down_nbytes)
+                heapq.heappush(heap, (t + dur, state["seq"], cycle, version, item))
+                running.add(int(u.client_id))
+                state["seq"] += 1
+
+        dispatch(now)
+        while version < total_flushes:
+            if heap:
+                t, seq, cycle, v_dispatch, item = heapq.heappop(heap)
+                now = t
+                running.discard(int(item.update.client_id))
+                u = self.deliver(algo, item, cycle)
+                buffer.append((seq, cycle, v_dispatch, now, u))
+                if len(buffer) < k and running:
+                    continue
+            # flush: fold the buffer in dispatch (submission) order —
+            # also reached with an empty heap, so a cohort that entirely
+            # dropped out still advances the federation
+            version += 1
+            buffer.sort(key=lambda b: b[0])
+            merged = [b[4] for b in buffer]
+            staleness = [version - 1 - b[2] for b in buffer]
+            algo.merge(version, merged, staleness)
+            for (seq, cycle, v_dispatch, t_arr, u), s in zip(buffer, staleness):
+                spans.events.append(
+                    {
+                        "client": int(u.client_id),
+                        "t": float(t_arr),
+                        "staleness": int(s),
+                        "flush": int(version),
+                    }
+                )
+            buffer = []
+            if version % eval_every == 0 or version == total_flushes:
+                spans.sim = now - mark_sim
+                mark_sim = now
+                spans.flush_record(version, merged)
+            if version < total_flushes:
+                dispatch(now)
+
+
+#: registry used by :func:`make_scheduler` and ``FLConfig`` validation
+SCHEDULERS = {
+    "sync": SyncScheduler,
+    "semisync": SemiSyncScheduler,
+    "buffered": BufferedScheduler,
+}
+
+
+def make_scheduler(
+    config=None,
+    scheduler: str | None = None,
+    buffer_size: int | None = None,
+    staleness_alpha: float | None = None,
+    over_select_frac: float | None = None,
+) -> Scheduler:
+    """Build the control-loop scheduler for one federation run.
+
+    Args:
+        config: an :class:`~repro.fl.config.FLConfig` supplying the
+            ``scheduler`` / ``buffer_size`` / ``staleness_alpha`` /
+            ``over_select_frac`` knobs (optional).
+        scheduler: explicit scheduler name overriding the config — one of
+            ``"auto"``, ``"sync"``, ``"semisync"``, ``"buffered"``.
+        buffer_size: explicit arrivals-per-flush for ``buffered``
+            (``0``/``None`` defaults to half the concurrency, min 2,
+            capped at the concurrency).
+        staleness_alpha: explicit staleness-discount strength.
+        over_select_frac: explicit over-selection fraction for
+            ``semisync``.
+
+    ``"auto"`` resolves from the environment: ``REPRO_SCHEDULER`` names
+    the scheduler (default ``sync``) and ``REPRO_BUFFER_SIZE`` /
+    ``REPRO_STALENESS_ALPHA`` / ``REPRO_OVER_SELECT_FRAC`` the knobs,
+    mirroring ``REPRO_BACKEND`` / ``REPRO_CODEC`` / ``REPRO_NETWORK``.
+
+    Returns:
+        A fresh :class:`Scheduler`; one instance serves one run.
+    """
+    spec = scheduler
+    if spec is None:
+        spec = getattr(config, "scheduler", "sync") if config is not None else "sync"
+    bs = buffer_size
+    if bs is None:
+        bs = getattr(config, "buffer_size", 0) if config is not None else 0
+    sa = staleness_alpha
+    if sa is None:
+        sa = getattr(config, "staleness_alpha", 0.5) if config is not None else 0.5
+    osf = over_select_frac
+    if osf is None:
+        osf = (
+            getattr(config, "over_select_frac", 0.25) if config is not None else 0.25
+        )
+    spec = str(spec).strip().lower()
+    if spec == "auto":
+        spec = os.environ.get("REPRO_SCHEDULER", "sync").strip().lower() or "sync"
+        for env, cast, setter in (
+            ("REPRO_BUFFER_SIZE", int, "bs"),
+            ("REPRO_STALENESS_ALPHA", float, "sa"),
+            ("REPRO_OVER_SELECT_FRAC", float, "osf"),
+        ):
+            raw = os.environ.get(env, "").strip()
+            if raw:
+                try:
+                    value = cast(raw)
+                except ValueError:
+                    raise ValueError(
+                        f"{env} must be {'an integer' if cast is int else 'a float'}, "
+                        f"got {raw!r}"
+                    )
+                if setter == "bs":
+                    bs = value
+                elif setter == "sa":
+                    sa = value
+                else:
+                    osf = value
+    try:
+        cls = SCHEDULERS[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {spec!r}; available: "
+            f"{sorted(SCHEDULERS)} (or 'auto')"
+        ) from None
+    return cls(buffer_size=bs, staleness_alpha=sa, over_select_frac=osf)

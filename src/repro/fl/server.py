@@ -46,13 +46,13 @@ from __future__ import annotations
 import threading
 import time
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dataclass_replace
 from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.data.federated import ClientData, FederatedDataset
-from repro.fl.codecs import Codec, IdentityCodec, make_codec
+from repro.fl.codecs import Codec, make_codec
 from repro.fl.comm import CommTracker
 from repro.fl.config import FLConfig
 from repro.fl.execution import (
@@ -61,9 +61,10 @@ from repro.fl.execution import (
     SerialBackend,
     make_backend,
 )
-from repro.fl.network import IdealNetwork, NetworkModel, make_network, resolve_deadline
-from repro.fl.history import History, RoundRecord
+from repro.fl.network import NetworkModel, make_network
+from repro.fl.history import History
 from repro.fl.sampling import sample_clients
+from repro.fl.scheduler import Scheduler, make_scheduler
 from repro.fl.training import evaluate_accuracy, local_sgd
 from repro.nn.model import Sequential
 from repro.nn.optim import SGD
@@ -203,6 +204,9 @@ class FederatedAlgorithm(ABC):
         #: afterwards: ``algo.codec.name``, ``algo.network.name``)
         self.codec: Codec | None = None
         self.network: NetworkModel | None = None
+        #: control-loop scheduler (:mod:`repro.fl.scheduler`), built by
+        #: ``run`` from the config
+        self.scheduler: Scheduler | None = None
         self._ran = False
 
     @property
@@ -242,6 +246,80 @@ class FederatedAlgorithm(ABC):
         this is the one place an algorithm may write server state in
         response to client work.
         """
+
+    def staleness_discount(self, staleness: float) -> float:
+        """Aggregation-weight multiplier for an update ``staleness`` flushes old.
+
+        Used by asynchronous schedulers (:mod:`repro.fl.scheduler`) when
+        folding buffered updates.  ``FLConfig.staleness_alpha`` sets the
+        strength and ``extra["sched_staleness_mode"]`` the shape:
+        ``"poly"`` (default) gives ``(1 + s)^(-alpha)`` (FedAsync's
+        polynomial discount; ``alpha=0`` disables discounting entirely),
+        ``"const"`` gives a flat ``alpha`` for any stale update.
+
+        Returns:
+            A multiplier in ``[0, 1]``; exactly ``1.0`` for fresh updates.
+
+        Raises:
+            ValueError: on an unknown ``sched_staleness_mode``.
+        """
+        if staleness <= 0:
+            return 1.0
+        sched = self.scheduler
+        alpha = (
+            sched.staleness_alpha if sched is not None
+            else self.config.staleness_alpha
+        )
+        mode = str(
+            self.config.extra.get("sched_staleness_mode", "poly")
+        ).strip().lower()
+        if mode == "poly":
+            return float((1.0 + staleness) ** (-alpha))
+        if mode == "const":
+            if alpha > 1.0:
+                raise ValueError(
+                    "sched_staleness_mode 'const' uses staleness_alpha as "
+                    f"the flat discount and needs it <= 1, got {alpha} "
+                    "(it would *amplify* stale updates)"
+                )
+            return float(alpha)
+        raise ValueError(
+            f"sched_staleness_mode must be 'poly' or 'const', got {mode!r}"
+        )
+
+    def merge(
+        self,
+        flush_idx: int,
+        updates: list[ClientUpdate],
+        staleness: Sequence[float],
+    ) -> None:
+        """Fold a buffer of possibly-stale client updates into server state.
+
+        The asynchronous schedulers' analogue of :meth:`aggregate`: each
+        update carries a *staleness* (how many buffer flushes completed
+        between its dispatch and now).  The default implementation
+        discounts each update's aggregation weight — its ``n_samples`` —
+        by :meth:`staleness_discount` and delegates to :meth:`aggregate`,
+        so every algorithm gets staleness-aware buffered aggregation for
+        free; updates whose discount reaches 0 are dropped.  Algorithms
+        with richer asynchronous semantics (server-side momentum,
+        delta-based folding) override this.
+
+        With all-zero staleness the updates pass through untouched, which
+        is what makes ``buffered`` with ``buffer_size == cohort`` and
+        ``staleness_alpha = 0`` bit-for-bit identical to ``sync``.
+
+        Always runs on the main thread, like :meth:`aggregate`.
+        """
+        merged: list[ClientUpdate] = []
+        for u, s in zip(updates, staleness):
+            d = self.staleness_discount(s)
+            if d <= 0.0:
+                continue
+            if d != 1.0:
+                u = dataclass_replace(u, n_samples=u.n_samples * d)
+            merged.append(u)
+        self.aggregate(flush_idx, merged)
 
     def eval_params_for_client(self, client_id: int) -> np.ndarray:
         """Model evaluated on a client's local test set (defaults to the
@@ -346,17 +424,22 @@ class FederatedAlgorithm(ABC):
     def run(self) -> History:
         """Execute the federation and return its history.
 
-        The round loop: sample clients, drop the unavailable (network
-        model), meter downloads, draw dropouts, execute the surviving
-        clients' updates on the configured backend, pass each upload
-        through the wire layer (codec encode → deadline check → meter
-        compressed bytes → decode), aggregate the delivered cohort, and
-        (on eval rounds) record accuracy, communication, simulated round
-        time, and wall-clock timing.
+        ``run`` builds the run's backend, wire layer, and control-loop
+        scheduler (:mod:`repro.fl.scheduler`), executes round-0 ``setup``,
+        and hands rounds 1..T to the scheduler.  The default ``sync``
+        scheduler is the seed round loop: sample clients, drop the
+        unavailable (network model), meter downloads, draw dropouts,
+        execute the surviving clients' updates on the configured backend,
+        pass each upload through the wire layer (codec encode → deadline
+        check → meter compressed bytes → decode), aggregate the delivered
+        cohort, and (on eval rounds) record accuracy, communication,
+        simulated round time, and wall-clock timing.  ``semisync`` and
+        ``buffered`` rearrange the same primitives on a virtual-clock
+        event queue.
 
-        With ``codec="none"``, ``network="ideal"``, and no deadline (the
-        defaults) every wire-layer branch is skipped and the loop is
-        bit-for-bit the seed behaviour.
+        With ``scheduler="sync"``, ``codec="none"``, ``network="ideal"``,
+        and no deadline (the defaults) every wire-layer branch is skipped
+        and the loop is bit-for-bit the seed behaviour.
 
         Returns:
             The populated :class:`~repro.fl.history.History` (also available
@@ -372,10 +455,7 @@ class FederatedAlgorithm(ABC):
         self._backend = make_backend(cfg)
         self.codec = make_codec(cfg)
         self.network = make_network(cfg, self.fed.num_clients, self.rngs)
-        deadline = resolve_deadline(cfg)
-        identity = isinstance(self.codec, IdentityCodec)
-        ideal = isinstance(self.network, IdealNetwork)
-        simulate = (not ideal) or deadline is not None
+        self.scheduler = make_scheduler(cfg)
         if not isinstance(self._backend, SerialBackend):
             # Layer-internal generators (e.g. nn.layers.Dropout) draw in
             # forward-call order, which parallel backends cannot reproduce;
@@ -397,122 +477,27 @@ class FederatedAlgorithm(ABC):
         try:
             t0 = time.perf_counter()
             self.setup()
-            mark = time.perf_counter()
-            self.history.setup_seconds = mark - t0
-            # span accumulators: reset at every RoundRecord so spans sum to
-            # run totals (the first span covers round-0 setup traffic too)
-            last_up, last_down = 0, 0
-            span_sim = 0.0
-            span_dropped: list[int] = []
-            span_unavailable: list[int] = []
-            for round_idx in range(1, cfg.rounds + 1):
-                selected = self.select_clients(round_idx)
-                if not ideal:
-                    mask = self.network.available_mask(round_idx, selected)
-                    span_unavailable.extend(int(c) for c in selected[~mask])
-                    selected = selected[mask]
-                dropout_rng = (
-                    self.rngs.make("dropout", round_idx) if cfg.dropout_rate > 0 else None
-                )
-                survivors: list[int] = []
-                down_nbytes: dict[int, int] = {}
-                for cid in selected:
-                    nb = self.download_bytes(int(cid), round_idx)
-                    down_nbytes[int(cid)] = nb
-                    self.comm.record_download(round_idx, nb)
-                    if dropout_rng is not None and dropout_rng.random() < cfg.dropout_rate:
-                        # Client dropped out after receiving the model (paper
-                        # §4.2): no upload, no contribution to aggregation.
-                        continue
-                    survivors.append(int(cid))
-                updates = self._backend.run_updates(self, round_idx, survivors)
-                # -- wire layer (main thread: codec state and metering) ----
-                delivered: list[ClientUpdate] = []
-                cut: list[int] = []
-                round_sim = 0.0
-                for u in updates:
-                    protocol_up = self.upload_bytes(u.client_id, round_idx)
-                    encoded = None
-                    wire_up = logical_up = protocol_up
-                    if protocol_up > 0:
-                        # One logical baseline for every codec row, identity
-                        # included: the raw float64 payload the engine
-                        # actually ships.  Protocol bytes beyond the payload
-                        # (SCAFFOLD's control variate, ...) ride uncompressed
-                        # and are metered identically in both columns.
-                        sl = self.wire_slice()
-                        overhead = max(0, protocol_up - self.wire_payload_bytes())
-                        logical_up = int(u.params[sl].nbytes) + overhead
-                        if not identity:
-                            ref = self.wire_reference(u, round_idx)
-                            encoded = self.codec.encode(
-                                u.client_id,
-                                u.params[sl] - ref[sl],
-                                self.rngs.make(f"codec.client{u.client_id}", round_idx),
-                            )
-                            wire_up = encoded.nbytes + overhead
-                    if simulate:
-                        t = self.network.client_seconds(
-                            u.client_id, down_nbytes[u.client_id], wire_up, u.steps
-                        )
-                        if deadline is not None and t > deadline:
-                            # Cut off mid-round: the upload never completes
-                            # (not metered), error-feedback residuals stay
-                            # as they were, and the update is discarded.
-                            cut.append(u.client_id)
-                            continue
-                        round_sim = max(round_sim, t)
-                    self.comm.record_upload(round_idx, wire_up, logical_up)
-                    if encoded is not None:
-                        self.codec.commit(u.client_id, encoded)
-                        received = u.params.copy()
-                        received[sl] = ref[sl] + self.codec.decode(encoded)
-                        u.params = received
-                    delivered.append(u)
-                if cut and deadline is not None:
-                    round_sim = deadline  # the server waits out the budget
-                span_sim += round_sim
-                span_dropped.extend(cut)
-                self.aggregate(round_idx, delivered)
-                if round_idx % cfg.eval_every == 0 or round_idx == cfg.rounds:
-                    acc = self.evaluate()
-                    mean_loss = (
-                        float(np.mean([u.loss for u in delivered])) if delivered else 0.0
-                    )
-                    extras: dict = {}
-                    if span_dropped:
-                        extras["deadline_dropped"] = list(span_dropped)
-                    if span_unavailable:
-                        extras["unavailable"] = list(span_unavailable)
-                    now = time.perf_counter()
-                    self.history.append(
-                        RoundRecord(
-                            round=round_idx,
-                            accuracy=acc,
-                            train_loss=mean_loss,
-                            cumulative_mb=self.comm.total_mb(),
-                            seconds=now - mark,
-                            upload_bytes=self.comm.total_up - last_up,
-                            download_bytes=self.comm.total_down - last_down,
-                            sim_seconds=span_sim,
-                            extras=extras,
-                        )
-                    )
-                    mark = now
-                    last_up, last_down = self.comm.total_up, self.comm.total_down
-                    span_sim = 0.0
-                    span_dropped = []
-                    span_unavailable = []
+            self.history.setup_seconds = time.perf_counter() - t0
+            self.scheduler.run(self)
         finally:
             self._backend.close()
             self._backend = None
         return self.history
 
-    def select_clients(self, round_idx: int) -> np.ndarray:
-        """Sampled client ids for one round (sorted, without replacement)."""
+    def select_clients(
+        self, round_idx: int, sample_rate: float | None = None
+    ) -> np.ndarray:
+        """Sampled client ids for one round (sorted, without replacement).
+
+        Args:
+            round_idx: round (or dispatch-cycle) index keying the draw.
+            sample_rate: participation-rate override — the ``semisync``
+                scheduler passes its over-selected rate; defaults to
+                ``config.sample_rate``.
+        """
         return sample_clients(
             self.fed.num_clients,
-            self.config.sample_rate,
+            self.config.sample_rate if sample_rate is None else sample_rate,
             self.rngs.make("sampling", round_idx),
         )
 
