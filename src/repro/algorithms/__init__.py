@@ -1,4 +1,10 @@
-"""Baseline federated-learning algorithms and the algorithm registry."""
+"""Baseline federated-learning algorithms and the algorithm registry.
+
+Each algorithm class registers itself (and its ``FLConfig.extra`` knobs)
+with the component registry via ``@register("algorithm", name, ...)`` in
+its own module (:mod:`repro.fl.registry`); importing this package loads
+them all, so ``ALGORITHMS`` below is derived, not hand-maintained.
+"""
 
 from repro.algorithms.cfl import CFL
 from repro.algorithms.clustered import ClusteredAlgorithm
@@ -9,28 +15,23 @@ from repro.algorithms.lg_fedavg import LGFedAvg
 from repro.algorithms.local import Local
 from repro.algorithms.pacfl import PACFL
 from repro.algorithms.perfedavg import PerFedAvg
+from repro.core.fedclust import FedClust  # noqa: F401 - registers "fedclust"
+from repro.fl import registry
 
-
-def _registry():
-    from repro.core.fedclust import FedClust
-
-    algos = [
-        Local, FedAvg, FedProx, FedNova, LGFedAvg, PerFedAvg,
-        CFL, IFCA, PACFL, FedClust, Scaffold, FedDyn,
-    ]
-    return {a.name: a for a in algos}
-
-
-ALGORITHMS = _registry()
+#: name → class, derived from the component registry (an import-time
+#: snapshot for introspection; ``build_algorithm`` reads the live
+#: registry so late registrations work too)
+ALGORITHMS = registry.classes("algorithm")
 
 
 def build_algorithm(name: str, fed, model_fn, config, seed: int = 0):
     """Instantiate a registered algorithm by name."""
+    impls = registry.get_family("algorithm").impls
     try:
-        cls = ALGORITHMS[name]
+        cls = impls[name].cls
     except KeyError:
         raise KeyError(
-            f"unknown algorithm {name!r}; available: {sorted(ALGORITHMS)}"
+            f"unknown algorithm {name!r}; available: {sorted(impls)}"
         ) from None
     return cls(fed, model_fn, config, seed=seed)
 

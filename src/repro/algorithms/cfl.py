@@ -14,11 +14,22 @@ import numpy as np
 from repro.algorithms.clustered import ClusteredAlgorithm
 from repro.clustering.distance import proximity_matrix
 from repro.clustering.hierarchical import agglomerative
+from repro.fl.registry import opt, register
 from repro.fl.server import ClientUpdate
 
 __all__ = ["CFL"]
 
 
+@register("algorithm", "cfl", options=[
+    opt("eps1", float, 0.4,
+        help="stationarity threshold: mean client-update norm below this "
+             "marks a cluster ready to split"),
+    opt("eps2", float, 0.6,
+        help="split trigger: some client still moving more than this "
+             "within a stationary cluster"),
+    opt("min_cluster_size", int, 2, low=1,
+        help="smallest cluster a bipartition may produce"),
+], extras_defaults={"eps1": 0.4, "eps2": 0.6})
 class CFL(ClusteredAlgorithm):
     """Sattler et al.'s clustered FL: split a cluster in two when its
     training stalls while clients still disagree (see module docstring)."""

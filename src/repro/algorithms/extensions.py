@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms.global_baselines import FedAvg
+from repro.fl.registry import opt, register
 from repro.fl.server import ClientUpdate
 from repro.fl.training import grad_on_batch, minibatches
 from repro.nn.serialization import unflatten_params
@@ -23,6 +24,7 @@ from repro.nn.serialization import unflatten_params
 __all__ = ["Scaffold", "FedDyn"]
 
 
+@register("algorithm", "scaffold")
 class Scaffold(FedAvg):
     """SCAFFOLD: stochastic controlled averaging.
 
@@ -104,6 +106,11 @@ class Scaffold(FedAvg):
         return 2 * self.model_bytes  # model delta + control delta
 
 
+@register("algorithm", "feddyn", options=[
+    opt("feddyn_alpha", float, 0.1, low=0.0, low_inclusive=False,
+        help="dynamic-regularizer strength aligning local and global "
+             "stationary points"),
+])
 class FedDyn(FedAvg):
     """FedDyn: federated learning with dynamic regularization.
 

@@ -10,12 +10,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.fl.registry import opt, register
 from repro.fl.server import ClientUpdate, FederatedAlgorithm, average_states, weighted_average
 from repro.nn.serialization import flatten_params
 
 __all__ = ["FedAvg", "FedProx", "FedNova"]
 
 
+@register("algorithm", "fedavg")
 class FedAvg(FederatedAlgorithm):
     """McMahan et al. (2017): weighted averaging of client models."""
 
@@ -47,6 +49,11 @@ class FedAvg(FederatedAlgorithm):
             self.global_state = average_states([u.state for u in updates], weights)
 
 
+@register("algorithm", "fedprox", options=[
+    opt("prox_mu", float, 0.0, low=0.0,
+        help="proximal-term strength μ (0 falls back to the paper's "
+             "common default 0.01)"),
+], extras_defaults={"prox_mu": 0.01})
 class FedProx(FedAvg):
     """Li et al. (2020): FedAvg plus a proximal term μ/2·||w − w_global||²
     in the local objective.  μ comes from ``config.extra["prox_mu"]``."""
@@ -68,6 +75,7 @@ class FedProx(FedAvg):
         )
 
 
+@register("algorithm", "fednova")
 class FedNova(FedAvg):
     """Wang et al. (2020): normalize client updates by their local step
     counts so clients with more data/steps do not bias the global model."""

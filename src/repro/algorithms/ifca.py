@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms.clustered import ClusteredAlgorithm
+from repro.fl.registry import opt, register
 from repro.fl.server import ClientUpdate, average_states, weighted_average
 from repro.fl.training import evaluate_accuracy, evaluate_loss
 from repro.nn.serialization import unflatten_params
@@ -19,6 +20,11 @@ from repro.nn.serialization import unflatten_params
 __all__ = ["IFCA"]
 
 
+@register("algorithm", "ifca", options=[
+    opt("num_clusters", int, 4, low=1,
+        help="number of fixed cluster models k (every client downloads "
+             "all k per round)"),
+], extras_defaults={"num_clusters": 4})
 class IFCA(ClusteredAlgorithm):
     """Iterative federated clustering with k fixed cluster models (see
     module docstring); ``config.extra["num_clusters"]`` sets k."""

@@ -10,12 +10,18 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.fl.registry import opt, register
 from repro.fl.server import ClientUpdate, FederatedAlgorithm, weighted_average
 from repro.nn.serialization import flatten_params, layer_slices
 
 __all__ = ["LGFedAvg"]
 
 
+@register("algorithm", "lg", options=[
+    opt("num_local_layers", int, None, optional=True,
+        help="parametric layers kept client-local (default: all but the "
+             "last two)"),
+])
 class LGFedAvg(FederatedAlgorithm):
     """Local representation layers + globally averaged head (see module
     docstring); ``config.extra["num_local_layers"]`` sets the split."""

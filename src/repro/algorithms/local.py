@@ -4,12 +4,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.fl.registry import register
 from repro.fl.server import ClientUpdate, FederatedAlgorithm
 from repro.nn.serialization import flatten_params
 
 __all__ = ["Local"]
 
 
+@register("algorithm", "local")
 class Local(FederatedAlgorithm):
     """Independent per-client training (paper's ``Local`` row).
 

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.algorithms.clustered import ClusteredAlgorithm
 from repro.clustering.hierarchical import agglomerative, largest_gap_threshold
+from repro.fl.registry import opt, register
 
 __all__ = ["PACFL", "principal_angle_matrix", "client_subspace"]
 
@@ -46,6 +47,16 @@ def principal_angle_matrix(bases: list[np.ndarray]) -> np.ndarray:
     return out
 
 
+@register("algorithm", "pacfl", options=[
+    opt("p", int, 3, low=1,
+        help="number of left singular vectors spanning each client's "
+             "data subspace"),
+    opt("angle_threshold", str, "auto",
+        help="dendrogram cut in summed principal-angle degrees, or "
+             "'auto' for the largest-gap heuristic"),
+    opt("linkage", str, "average",
+        help="agglomerative linkage for the principal-angle clustering"),
+], extras_defaults={"p": 3, "angle_threshold": "auto", "linkage": "average"})
 class PACFL(ClusteredAlgorithm):
     """Pre-federation clustering by principal angles between client data
     subspaces (see module docstring); knobs: ``p``, ``angle_threshold``."""

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms.global_baselines import FedAvg
+from repro.fl.registry import SCALE_LR, opt, register
 from repro.fl.server import ClientUpdate
 from repro.fl.training import evaluate_accuracy, grad_on_batch, minibatches
 from repro.nn.serialization import flatten_params, unflatten_params
@@ -20,6 +21,15 @@ from repro.nn.serialization import flatten_params, unflatten_params
 __all__ = ["PerFedAvg"]
 
 
+@register("algorithm", "perfedavg", options=[
+    opt("alpha", float, 1e-2,
+        help="inner (personalization) step rate of the first-order MAML "
+             "update"),
+    opt("beta", float, None, optional=True,
+        help="outer meta-step rate (default: the run's learning rate)"),
+    opt("personalize_epochs", int, 1, low=0,
+        help="local fine-tuning epochs applied before evaluation"),
+], extras_defaults={"alpha": 1e-2, "beta": SCALE_LR, "personalize_epochs": 1})
 class PerFedAvg(FedAvg):
     """First-order MAML federated averaging (see module docstring);
     knobs: ``alpha``, ``beta``, ``personalize_epochs``."""

@@ -22,11 +22,32 @@ from repro.algorithms.clustered import ClusteredAlgorithm
 from repro.clustering.distance import proximity_matrix
 from repro.clustering.hierarchical import Dendrogram, agglomerative, largest_gap_threshold
 from repro.core.weight_selection import select_weights, selection_nbytes
+from repro.fl.registry import opt, register
 from repro.nn.serialization import flatten_params, unflatten_params
 
 __all__ = ["FedClust"]
 
 
+@register("algorithm", "fedclust", options=[
+    opt("lam", str, "auto",
+        help="dendrogram cut threshold λ, or 'auto' for the largest-gap "
+             "heuristic (the paper tunes λ per dataset)"),
+    opt("target_clusters", int, None, optional=True, low=1,
+        help="cut the dendrogram to exactly this many clusters instead "
+             "of thresholding"),
+    opt("linkage", str, "average",
+        help="agglomerative linkage for HC(M, λ)"),
+    opt("metric", str, "euclidean",
+        help="proximity metric over partial weight vectors (Eq. 3)"),
+    opt("selection", str, "final",
+        help="partial-weight strategy (§4.1): which layers clients "
+             "upload for clustering"),
+    opt("selection_k", int, 2, low=1,
+        help="layer count for the k-layer selection strategies"),
+    opt("warmup_epochs", int, None, optional=True,
+        help="round-0 local epochs before the partial upload (default: "
+             "local_epochs)"),
+], extras_defaults={"lam": "auto", "linkage": "average"})
 class FedClust(ClusteredAlgorithm):
     """The paper's proposed algorithm.
 

@@ -13,6 +13,12 @@ from repro.experiments.configs import (
     make_model_fn,
     method_extras,
 )
+from repro.experiments.components import (
+    check_docs,
+    components_text,
+    flag_table_markdown,
+    write_docs,
+)
 from repro.experiments.figures import block_contrast, figure1, figure3, figure4
 from repro.experiments.reporting import (
     format_accuracy_table,
@@ -57,4 +63,8 @@ __all__ = [
     "format_figure1",
     "format_figure4",
     "format_curves",
+    "components_text",
+    "flag_table_markdown",
+    "check_docs",
+    "write_docs",
 ]

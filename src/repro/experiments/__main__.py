@@ -8,15 +8,25 @@ Usage::
     python -m repro.experiments table1 --backend process --workers 4
     python -m repro.experiments table5 --codec int8 --network hetero
     python -m repro.experiments table1 --network stragglers --scheduler buffered
+    python -m repro.experiments table5 --codec topk:frac=0.1
+    python -m repro.experiments components     # list every registered component
+    python -m repro.experiments components --check-docs   # CI drift gate
 
-Artifacts print to stdout in the paper's row format.  ``--backend`` /
-``--workers`` pick the client-execution backend (results are bit-for-bit
-identical across backends; only wall-clock changes).  ``--codec`` /
-``--topk-frac`` / ``--network`` / ``--deadline`` configure the wire layer
-(upload compression and the simulated network) for every cell at once,
-and ``--scheduler`` / ``--buffer-size`` / ``--staleness-alpha`` /
-``--over-select-frac`` pick the control-loop scheduler (sync / semisync /
-buffered rounds on the simulated clock).
+Artifacts print to stdout in the paper's row format.  The engine flags
+(``--backend``, ``--codec``, ``--network``, ``--scheduler``, and their
+option flags) are **auto-generated from the component registry**
+(:mod:`repro.fl.registry`): every registered family contributes one
+selection flag (accepting a name, or an inline spec like
+``topk:frac=0.05``) and each declared option with a ``cli`` name
+contributes its own flag.  Flag values are exported to the matching
+``REPRO_*`` environment variables, which every ``FLConfig`` built by the
+artifact runners resolves through ``"auto"`` — one switch covers tables
+and figures alike.
+
+``components`` lists every family / implementation / option with its
+defaults, straight from the registry; ``--check-docs`` fails when the
+README / docs flag tables have drifted from the declarations (a CI
+step), and ``--write-docs`` regenerates them.
 """
 
 from __future__ import annotations
@@ -25,9 +35,7 @@ import argparse
 import os
 import sys
 
-from repro.fl.codecs import CODECS
-from repro.fl.network import NETWORKS
-from repro.fl.scheduler import SCHEDULERS
+from repro.fl import registry
 
 from repro.experiments import (
     ALL_METHODS,
@@ -47,6 +55,14 @@ from repro.experiments import (
     table_newcomers,
     table_rounds_to_target,
 )
+from repro.experiments.components import (
+    CLI_FAMILIES,
+    check_docs,
+    components_text,
+    family_option_specs,
+    flag_table_markdown,
+    write_docs,
+)
 
 SCALES = {"bench": BENCH_SCALE, "smoke": SMOKE_SCALE, "paper": PAPER_SCALE}
 DATASETS = ["cifar10", "cifar100", "fmnist", "svhn"]
@@ -54,6 +70,7 @@ ARTIFACTS = [
     "figure1", "table1", "table2", "table3", "figure3",
     "table4", "table5", "figure4", "table6",
 ]
+COMMANDS = ARTIFACTS + ["all", "components"]
 
 
 def run_artifact(name: str, scale, seeds, datasets) -> str:
@@ -114,124 +131,156 @@ def run_artifact(name: str, scale, seeds, datasets) -> str:
     raise KeyError(name)
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.experiments",
-        description="Regenerate the FedClust paper's tables and figures.",
-    )
-    parser.add_argument("artifact", choices=ARTIFACTS + ["all"])
-    parser.add_argument("--scale", choices=sorted(SCALES), default="bench")
-    parser.add_argument("--seeds", type=int, nargs="+", default=[0])
-    parser.add_argument("--dataset", choices=DATASETS, action="append",
-                        help="restrict to specific datasets (repeatable)")
-    parser.add_argument("--backend", choices=["serial", "thread", "process"],
-                        default=None,
-                        help="client-execution backend (default: serial, or "
-                             "the REPRO_BACKEND environment variable)")
-    parser.add_argument("--workers", type=int, default=None,
-                        help="worker-pool size for thread/process backends "
-                             "(default: min(4, cpu_count))")
-    parser.add_argument("--codec", choices=sorted(CODECS), default=None,
-                        help="upload codec (default: none, or the "
-                             "REPRO_CODEC environment variable)")
-    parser.add_argument("--topk-frac", type=float, default=None,
-                        help="kept fraction for the topk codec")
-    parser.add_argument("--network", choices=sorted(NETWORKS), default=None,
-                        help="simulated network profile (default: ideal, or "
-                             "the REPRO_NETWORK environment variable)")
-    parser.add_argument("--deadline", type=float, default=None,
-                        help="per-round deadline in simulated seconds "
-                             "(late clients are cut from aggregation)")
-    parser.add_argument("--scheduler", choices=sorted(SCHEDULERS), default=None,
-                        help="control-loop scheduler (default: sync, or the "
-                             "REPRO_SCHEDULER environment variable)")
-    parser.add_argument("--buffer-size", type=int, default=None,
-                        help="arrivals per buffered-scheduler flush (default: "
-                             "half the concurrency, min 2, capped at the "
-                             "cohort)")
-    parser.add_argument("--staleness-alpha", type=float, default=None,
-                        help="staleness-discount strength for buffered "
-                             "aggregation weights")
-    parser.add_argument("--over-select-frac", type=float, default=None,
-                        help="extra cohort fraction the semisync scheduler "
-                             "over-selects")
-    args = parser.parse_args(argv)
+def _cli_options(fam) -> list:
+    """The family's CLI-flagged options (family-level + per-impl, deduped)."""
+    return [o for o in family_option_specs(fam) if o.cli]
 
-    effective_scheduler = args.scheduler or os.environ.get(
-        "REPRO_SCHEDULER", "sync"
-    ).strip().lower()
-    if (
-        args.buffer_size is not None or args.staleness_alpha is not None
-    ) and effective_scheduler != "buffered":
-        parser.error(
-            "--buffer-size/--staleness-alpha only apply to the buffered "
-            "scheduler; also pass --scheduler buffered (or set "
-            "REPRO_SCHEDULER)"
+
+def _add_registry_flags(parser: argparse.ArgumentParser) -> None:
+    """One selection flag per family plus one flag per declared option —
+    generated from the registry, never hand-maintained."""
+    for fam_name in CLI_FAMILIES:
+        fam = registry.get_family(fam_name)
+        names = "/".join(sorted(fam.impls))
+        hint = f" or an inline spec like '{fam.example}'" if fam.example else ""
+        parser.add_argument(
+            f"--{fam.name}", default=None, metavar="SPEC",
+            help=f"{fam.label}: {names}{hint} (default: {fam.default}, or "
+                 f"the {fam.env} environment variable)",
         )
-    if args.over_select_frac is not None and effective_scheduler != "semisync":
-        parser.error(
-            "--over-select-frac only applies to the semisync scheduler; "
-            "also pass --scheduler semisync (or set REPRO_SCHEDULER)"
-        )
-    if args.deadline is not None and effective_scheduler == "buffered":
+        for o in _cli_options(fam):
+            parser.add_argument(
+                f"--{o.cli}", type=o.type, default=None,
+                help=o.help + (f" [{'/'.join(o.only_for)} only]"
+                               if o.only_for else ""),
+            )
+
+
+def _validate_registry_flags(parser: argparse.ArgumentParser, args) -> None:
+    """Registry-driven flag validation + cross-flag consistency checks."""
+    for fam_name in CLI_FAMILIES:
+        fam = registry.get_family(fam_name)
+        value = getattr(args, fam.name)
+        if value is not None:
+            try:
+                registry.validate_spec(fam.name, value)
+            except ValueError as exc:
+                parser.error(str(exc))
+        # an option flag without its implementation selected is a no-op
+        # the user should hear about (generated from `only_for`)
+        for o in _cli_options(fam):
+            if getattr(args, o.cli.replace("-", "_")) is None or not o.only_for:
+                continue
+            selected = value
+            if selected is None:
+                selected = os.environ.get(fam.env, "").strip() or fam.default
+            try:
+                name = registry.spec_name(fam.name, selected)
+            except ValueError as exc:  # malformed REPRO_* content
+                parser.error(str(exc))
+            if name != "auto" and name not in o.only_for:
+                parser.error(
+                    f"--{o.cli} only applies to the "
+                    f"{'/'.join(sorted(o.only_for))} {fam.label}; also pass "
+                    f"--{fam.name} {'|'.join(sorted(o.only_for))} "
+                    f"(or set {fam.env})"
+                )
+    # cross-family conflict the per-option metadata cannot express
+    sched = args.scheduler or os.environ.get("REPRO_SCHEDULER", "sync").strip()
+    try:
+        sched_name = registry.spec_name("scheduler", sched or "sync")
+    except ValueError as exc:
+        parser.error(str(exc))
+    if args.deadline is not None and sched_name == "buffered":
         parser.error(
             "--deadline has no effect with the buffered scheduler (there "
             "is no round barrier to enforce it at); use sync or semisync"
         )
 
-    effective_codec = args.codec or os.environ.get(
-        "REPRO_CODEC", "none"
-    ).strip().lower()
-    if args.topk_frac is not None and effective_codec != "topk":
-        parser.error(
-            "--topk-frac only applies to the topk codec; also pass "
-            "--codec topk (or set REPRO_CODEC)"
-        )
 
-    if (
-        args.workers is not None
-        and args.backend is None
-        and os.environ.get("REPRO_BACKEND", "serial").strip().lower()
-        in ("", "serial")
-    ):
-        parser.error(
-            "--workers has no effect on the serial backend; also pass "
-            "--backend thread|process (or set REPRO_BACKEND)"
-        )
+def _registry_env(args) -> dict[str, str]:
+    """``REPRO_*`` assignments for every registry flag that was passed."""
+    assignments: dict[str, str] = {}
+    for fam_name in CLI_FAMILIES:
+        fam = registry.get_family(fam_name)
+        value = getattr(args, fam.name)
+        if value is not None:
+            assignments[fam.env] = str(value)
+        for o in _cli_options(fam):
+            flag_value = getattr(args, o.cli.replace("-", "_"))
+            if flag_value is not None and o.env:
+                assignments[o.env] = str(flag_value)
+    return assignments
 
-    # Every FLConfig built below defaults to backend/codec/network="auto",
-    # which resolve from these variables — one switch covers tables and
-    # figures alike.  Saved and restored so programmatic main() calls don't
-    # leak the choice into later invocations in the same process.
-    saved_env = {
-        key: os.environ.get(key)
-        for key in (
-            "REPRO_BACKEND", "REPRO_WORKERS", "REPRO_CODEC",
-            "REPRO_TOPK_FRAC", "REPRO_NETWORK", "REPRO_DEADLINE",
-            "REPRO_SCHEDULER", "REPRO_BUFFER_SIZE",
-            "REPRO_STALENESS_ALPHA", "REPRO_OVER_SELECT_FRAC",
-        )
-    }
-    if args.backend is not None:
-        os.environ["REPRO_BACKEND"] = args.backend
-    if args.workers is not None:
-        os.environ["REPRO_WORKERS"] = str(args.workers)
-    if args.codec is not None:
-        os.environ["REPRO_CODEC"] = args.codec
-    if args.topk_frac is not None:
-        os.environ["REPRO_TOPK_FRAC"] = str(args.topk_frac)
-    if args.network is not None:
-        os.environ["REPRO_NETWORK"] = args.network
-    if args.deadline is not None:
-        os.environ["REPRO_DEADLINE"] = str(args.deadline)
-    if args.scheduler is not None:
-        os.environ["REPRO_SCHEDULER"] = args.scheduler
-    if args.buffer_size is not None:
-        os.environ["REPRO_BUFFER_SIZE"] = str(args.buffer_size)
-    if args.staleness_alpha is not None:
-        os.environ["REPRO_STALENESS_ALPHA"] = str(args.staleness_alpha)
-    if args.over_select_frac is not None:
-        os.environ["REPRO_OVER_SELECT_FRAC"] = str(args.over_select_frac)
+
+def _all_registry_envs() -> list[str]:
+    """Every env var the registry declares (family and option level)."""
+    envs: list[str] = []
+    for fam in registry.families():
+        if fam.env:
+            envs.append(fam.env)
+        for o in fam.options:
+            if o.env:
+                envs.append(o.env)
+        for impl in fam.impls.values():
+            for o in impl.options:
+                if o.env:
+                    envs.append(o.env)
+    return envs
+
+
+def _run_components(args) -> int:
+    if args.check_docs:
+        problems = check_docs()
+        if problems:
+            for problem in problems:
+                print(problem, file=sys.stderr)
+            return 1
+        print("docs flag tables match the component registry")
+        return 0
+    if args.write_docs:
+        touched = write_docs()
+        print("updated: " + (", ".join(touched) if touched else "nothing"))
+        return 0
+    print(flag_table_markdown() if args.markdown else components_text())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the FedClust paper's tables and figures.",
+    )
+    parser.add_argument("artifact", choices=COMMANDS)
+    parser.add_argument("--scale", choices=sorted(SCALES), default="bench")
+    parser.add_argument("--seeds", type=int, nargs="+", default=[0])
+    parser.add_argument("--dataset", choices=DATASETS, action="append",
+                        help="restrict to specific datasets (repeatable)")
+    _add_registry_flags(parser)
+    group = parser.add_argument_group("components subcommand")
+    group.add_argument("--markdown", action="store_true",
+                       help="print the docs flag table instead of the "
+                            "plain listing")
+    group.add_argument("--check-docs", action="store_true",
+                       help="exit non-zero when README/docs flag tables "
+                            "drift from the registry (CI gate)")
+    group.add_argument("--write-docs", action="store_true",
+                       help="regenerate the README/docs flag tables "
+                            "in place")
+    args = parser.parse_args(argv)
+
+    if args.artifact == "components":
+        return _run_components(args)
+
+    _validate_registry_flags(parser, args)
+
+    # Every FLConfig built below defaults to backend/codec/network/
+    # scheduler = "auto", which resolve from the REPRO_* variables — one
+    # switch covers tables and figures alike.  Saved and restored so
+    # programmatic main() calls don't leak the choice into later
+    # invocations in the same process.
+    saved_env = {key: os.environ.get(key) for key in _all_registry_envs()}
+    os.environ.update(_registry_env(args))
 
     scale = SCALES[args.scale]
     datasets = args.dataset or DATASETS

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.data import build_federated_dataset, make_dataset
+from repro.fl import registry
 from repro.fl.config import FLConfig
 from repro.nn.models import build_model
 
@@ -167,29 +168,20 @@ FIG3_METHODS = ["fedclust", "lg", "perfedavg", "pacfl", "ifca", "cfl"]
 def method_extras(method: str, dataset: str, scale: ExperimentScale) -> dict:
     """Per-method ``FLConfig.extra`` knobs (paper §5.1 hyper-parameters).
 
-    FedClust's cluster count follows the Fig.-4 optima (2 clusters for
-    CIFAR-10/100/SVHN, 4 for FMNIST); IFCA/CFL use their original papers'
-    settings; PACFL uses p = 3.
+    Derived from each algorithm's registry declaration
+    (``extras_defaults`` in its ``@register("algorithm", ...)`` — e.g.
+    FedClust's λ="auto" largest-gap cut, IFCA's k=4, PACFL's p=3,
+    FedProx's μ=0.01).  The :data:`~repro.fl.registry.SCALE_LR` sentinel
+    is substituted with the running scale's learning rate (Per-FedAvg's
+    outer step β).
     """
-    if method == "fedclust":
-        # λ="auto" = largest-gap cut, the data-driven stand-in for the
-        # paper's per-dataset λ tuning (its Fig.-4 optima are 2-4 clusters
-        # at 100 clients; the gap heuristic recovers the analogous optimum
-        # at any scale).
-        return {"lam": "auto", "linkage": "average"}
-    if method == "ifca":
-        return {"num_clusters": 4}
-    if method == "cfl":
-        return {"eps1": 0.4, "eps2": 0.6}
-    if method == "pacfl":
-        return {"p": 3, "angle_threshold": "auto", "linkage": "average"}
-    if method == "fedprox":
-        return {"prox_mu": 0.01}
-    if method == "perfedavg":
-        return {"alpha": 1e-2, "beta": scale.lr, "personalize_epochs": 1}
-    if method == "lg":
-        return {}  # default split: all but the last two parametric layers local
-    return {}
+    spec = registry.get_family("algorithm").impls.get(method)
+    if spec is None:
+        return {}
+    return {
+        key: (scale.lr if value is registry.SCALE_LR else value)
+        for key, value in spec.extras_defaults.items()
+    }
 
 
 def make_federation(

@@ -13,6 +13,7 @@ from repro.experiments.configs import (
     make_model_fn,
     method_extras,
 )
+from repro.fl import registry
 from repro.fl.history import History
 
 __all__ = ["CellResult", "run_cell", "run_methods"]
@@ -34,6 +35,15 @@ class CellResult:
         return self.history.final_accuracy()
 
 
+#: legacy per-subsystem ``run_cell`` keywords, kept as deprecation shims:
+#: each is equivalent to the same-named ``fl_options`` key (registry
+#: declarations in :mod:`repro.fl.registry`).
+_LEGACY_KWARGS = (
+    "backend", "workers", "codec", "topk_frac", "network", "deadline",
+    "scheduler", "buffer_size", "staleness_alpha", "over_select_frac",
+)
+
+
 def run_cell(
     dataset: str,
     method: str,
@@ -42,16 +52,8 @@ def run_cell(
     seed: int = 0,
     config_overrides: dict | None = None,
     extra_overrides: dict | None = None,
-    backend: str | None = None,
-    workers: int | None = None,
-    codec: str | None = None,
-    topk_frac: float | None = None,
-    network: str | None = None,
-    deadline: float | None = None,
-    scheduler: str | None = None,
-    buffer_size: int | None = None,
-    staleness_alpha: float | None = None,
-    over_select_frac: float | None = None,
+    fl_options: dict | None = None,
+    **legacy_options,
 ) -> CellResult:
     """Run one (dataset, method, setting) cell at the given scale.
 
@@ -64,48 +66,39 @@ def run_cell(
         config_overrides: keyword overrides for the cell's ``FLConfig``.
         extra_overrides: merged into ``FLConfig.extra`` after the method's
             defaults.
-        backend: client-execution backend shorthand (equivalent to
-            ``config_overrides={"backend": ...}``); all backends produce
-            identical results.
-        workers: worker-pool size shorthand for thread/process backends.
-        codec: upload-codec shorthand (``repro.fl.codecs``).
-        topk_frac: kept fraction for the ``topk`` codec.
-        network: simulated network profile shorthand (``repro.fl.network``).
-        deadline: per-round deadline shorthand, in simulated seconds.
-        scheduler: control-loop scheduler shorthand
-            (``repro.fl.scheduler``: sync / semisync / buffered).
-        buffer_size: arrivals per ``buffered`` flush.
-        staleness_alpha: staleness-discount strength for ``buffered``.
-        over_select_frac: over-selection fraction for ``semisync``.
+        fl_options: flat engine options, keyed by registry family name
+            (``{"codec": "topk", "scheduler": "buffered:bs=8"}``) or
+            option name (``{"topk_frac": 0.1, "net_mbps": 10.0,
+            "prox_mu": 0.01}``) — any key a registered component
+            declares (:func:`repro.fl.registry.apply_options`); unknown
+            keys raise with the known-key list.  This replaces the old
+            one-keyword-per-knob signature.
+        **legacy_options: deprecated per-knob shorthands (``backend=``,
+            ``codec=``, ``topk_frac=``, ...); still honoured, and they
+            win over ``fl_options`` like explicit keywords always did.
 
     Returns:
         The completed :class:`CellResult`.
     """
+    unknown = set(legacy_options) - set(_LEGACY_KWARGS)
+    if unknown:
+        raise TypeError(
+            f"run_cell() got unexpected keyword arguments {sorted(unknown)}; "
+            f"pass engine knobs via fl_options (known keys: "
+            f"{sorted(registry.flat_option_targets())})"
+        )
+    merged_options = dict(fl_options or {})
+    merged_options.update(
+        {k: v for k, v in legacy_options.items() if v is not None}
+    )
     overrides = dict(config_overrides or {})
-    if backend is not None:
-        overrides["backend"] = backend
-    if workers is not None:
-        overrides["workers"] = workers
-    if codec is not None:
-        overrides["codec"] = codec
-    if topk_frac is not None:
-        overrides["topk_frac"] = topk_frac
-    if network is not None:
-        overrides["network"] = network
-    if deadline is not None:
-        overrides["deadline"] = deadline
-    if scheduler is not None:
-        overrides["scheduler"] = scheduler
-    if buffer_size is not None:
-        overrides["buffer_size"] = buffer_size
-    if staleness_alpha is not None:
-        overrides["staleness_alpha"] = staleness_alpha
-    if over_select_frac is not None:
-        overrides["over_select_frac"] = over_select_frac
+    option_fields, option_extras = registry.apply_options(merged_options)
+    overrides.update(option_fields)
     fed = make_federation(dataset, setting, scale, seed=seed)
     model_fn = make_model_fn(dataset, fed, scale)
     cfg = scale.fl_config(**overrides)
     extras = method_extras(method, dataset, scale)
+    extras.update(option_extras)
     extras.update(extra_overrides or {})
     if extras:
         cfg = cfg.with_extra(**extras)

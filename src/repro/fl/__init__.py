@@ -1,6 +1,17 @@
 """Federated-learning simulation engine: clients, server loop, metering,
-and the simulated wire (codecs + network models)."""
+and the simulated wire (codecs + network models).
 
+Pluggable pieces (backends, codecs, networks, schedulers, algorithms)
+are declared once in the component registry (:mod:`repro.fl.registry`).
+"""
+
+from repro.fl.registry import (
+    ComponentSpec,
+    FamilySpec,
+    OptionSpec,
+    opt,
+    register,
+)
 from repro.fl.codecs import (
     CODECS,
     Codec,
@@ -54,6 +65,11 @@ from repro.fl.server import (
 from repro.fl.training import evaluate_accuracy, evaluate_loss, local_sgd, minibatches
 
 __all__ = [
+    "OptionSpec",
+    "ComponentSpec",
+    "FamilySpec",
+    "opt",
+    "register",
     "FLConfig",
     "CommTracker",
     "MB",

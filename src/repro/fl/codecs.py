@@ -47,11 +47,13 @@ keeps every backend bit-for-bit identical with any codec enabled.
 from __future__ import annotations
 
 import math
-import os
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from repro.fl import registry
+from repro.fl.registry import opt, register
 
 __all__ = [
     "Encoded",
@@ -136,6 +138,7 @@ class Codec(ABC):
         return f"{type(self).__name__}()"
 
 
+@register("codec", "none")
 class IdentityCodec(Codec):
     """Raw float64 pass-through — the seed wire format."""
 
@@ -152,6 +155,7 @@ class IdentityCodec(Codec):
         return encoded.payload["values"]
 
 
+@register("codec", "fp16")
 class Fp16Codec(Codec):
     """Deterministic float16 cast (4x smaller than float64)."""
 
@@ -169,6 +173,7 @@ class Fp16Codec(Codec):
         return encoded.payload["values"].astype(np.float64)
 
 
+@register("codec", "int8")
 class Int8Codec(Codec):
     """Stochastic uniform int8 quantization with a per-vector scale.
 
@@ -201,6 +206,13 @@ class Int8Codec(Codec):
         return encoded.payload["q"].astype(np.float64) * float(encoded.payload["scale"])
 
 
+@register("codec", "topk", options=[
+    opt("topk_frac", float, 0.05,
+        low=0.0, high=1.0, low_inclusive=False,
+        env="REPRO_TOPK_FRAC", cli="topk-frac", field="topk_frac",
+        alias="frac", only_for=("topk",),
+        help="fraction of delta entries the `topk` codec transmits"),
+])
 class TopKCodec(Codec):
     """Magnitude top-k sparsification with error-feedback residuals.
 
@@ -259,13 +271,9 @@ class TopKCodec(Codec):
         return f"TopKCodec(frac={self.frac})"
 
 
-#: registry used by :func:`make_codec` and ``FLConfig`` validation
-CODECS = {
-    "none": IdentityCodec,
-    "fp16": Fp16Codec,
-    "int8": Int8Codec,
-    "topk": TopKCodec,
-}
+#: name → class, derived from the component registry (kept for
+#: introspection/back-compat; the registry is the source of truth)
+CODECS = registry.classes("codec")
 
 
 def make_codec(
@@ -278,39 +286,22 @@ def make_codec(
     Args:
         config: an :class:`~repro.fl.config.FLConfig` supplying default
             ``codec`` / ``topk_frac`` knobs (optional).
-        codec: explicit codec name overriding the config — one of
-            ``"auto"``, ``"none"``, ``"fp16"``, ``"int8"``, ``"topk"``.
+        codec: explicit codec spec overriding the config — a registered
+            name, ``"auto"``, or an inline spec like ``"topk:frac=0.05"``.
         topk_frac: explicit kept fraction for the top-k codec.
 
-    ``"auto"`` resolves from the environment: ``REPRO_CODEC`` names the
-    codec (default ``none``) and ``REPRO_TOPK_FRAC`` the kept fraction,
-    mirroring how ``REPRO_BACKEND`` selects the execution backend.
+    Resolution is the registry's (:func:`repro.fl.registry.resolve`):
+    ``"auto"`` reads ``REPRO_CODEC`` (default ``none``) and
+    ``REPRO_TOPK_FRAC``, and inline spec strings work uniformly in the
+    config field, the env var, and here.
 
     Returns:
         A fresh :class:`Codec`; one codec instance serves one run (top-k
         holds per-client residual state).
     """
-    spec = codec
-    if spec is None:
-        spec = getattr(config, "codec", "none") if config is not None else "none"
-    frac = topk_frac
-    if frac is None:
-        frac = getattr(config, "topk_frac", 0.05) if config is not None else 0.05
-    spec = str(spec).strip().lower()
-    if spec == "auto":
-        spec = os.environ.get("REPRO_CODEC", "none").strip().lower() or "none"
-        raw = os.environ.get("REPRO_TOPK_FRAC", "").strip()
-        if raw:
-            try:
-                frac = float(raw)
-            except ValueError:
-                raise ValueError(f"REPRO_TOPK_FRAC must be a float, got {raw!r}")
-    try:
-        cls = CODECS[spec]
-    except KeyError:
-        raise ValueError(
-            f"unknown codec {spec!r}; available: {sorted(CODECS)} (or 'auto')"
-        ) from None
-    if cls is TopKCodec:
-        return cls(frac=frac)
-    return cls()
+    r = registry.resolve(
+        "codec", spec=codec, config=config, overrides={"topk_frac": topk_frac}
+    )
+    if r.impl.cls is TopKCodec:
+        return TopKCodec(frac=r.options["topk_frac"])
+    return r.impl.cls()

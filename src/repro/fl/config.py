@@ -4,9 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from repro.fl.codecs import CODECS
-from repro.fl.network import KNOWN_NET_KEYS, NETWORKS
-from repro.fl.scheduler import KNOWN_SCHED_KEYS, SCHEDULERS
+from repro.fl import registry
 
 __all__ = ["FLConfig"]
 
@@ -18,6 +16,14 @@ class FLConfig:
     The paper trains 100 clients for 200 rounds with 10% sampling, 10 local
     epochs, batch size 10, SGD.  Those values are expressible here; the
     library's tests and benches default to smaller, CPU-friendly numbers.
+
+    Component selection (``backend`` / ``codec`` / ``network`` /
+    ``scheduler``) and the components' knobs are declared once in the
+    component registry (:mod:`repro.fl.registry`), which derives this
+    class's validation: each spec field accepts a registered name,
+    ``"auto"`` (resolve from the family's ``REPRO_*`` environment
+    variable), or an inline spec string such as ``"topk:frac=0.05"`` /
+    ``"buffered:bs=8,sa=0.5"``.
     """
 
     rounds: int = 20
@@ -34,22 +40,25 @@ class FLConfig:
     #: still pays the download; the upload never happens.
     dropout_rate: float = 0.0
     #: client-execution backend (:mod:`repro.fl.execution`): ``"serial"``,
-    #: ``"thread"``, ``"process"``, or ``"auto"`` (resolve from the
+    #: ``"thread"``, ``"process"``, ``"auto"`` (resolve from the
     #: ``REPRO_BACKEND`` / ``REPRO_WORKERS`` environment, defaulting to
-    #: serial).  All backends are bit-for-bit equivalent.
+    #: serial), or an inline spec (``"thread:workers=4"``).  All backends
+    #: are bit-for-bit equivalent.
     backend: str = "auto"
     #: worker-pool size for the thread/process backends; 0 picks a
     #: machine-dependent default (``min(4, cpu_count)``)
     workers: int = 0
     #: upload codec (:mod:`repro.fl.codecs`): ``"none"``, ``"fp16"``,
-    #: ``"int8"``, ``"topk"``, or ``"auto"`` (resolve from ``REPRO_CODEC``,
-    #: defaulting to ``none`` — the seed's raw-float64 wire format)
+    #: ``"int8"``, ``"topk"``, ``"auto"`` (resolve from ``REPRO_CODEC``,
+    #: defaulting to ``none`` — the seed's raw-float64 wire format), or
+    #: an inline spec (``"topk:frac=0.05"``)
     codec: str = "auto"
     #: fraction of delta entries the ``topk`` codec transmits per round
     topk_frac: float = 0.05
     #: simulated network profile (:mod:`repro.fl.network`): ``"ideal"``,
-    #: ``"uniform"``, ``"hetero"``, ``"stragglers"``, ``"flaky"``, or
-    #: ``"auto"`` (resolve from ``REPRO_NETWORK``, defaulting to ideal)
+    #: ``"uniform"``, ``"hetero"``, ``"stragglers"``, ``"flaky"``,
+    #: ``"auto"`` (resolve from ``REPRO_NETWORK``, defaulting to ideal),
+    #: or an inline spec (``"stragglers:straggler_factor=8"``)
     network: str = "auto"
     #: per-round deadline in *simulated* seconds: clients whose simulated
     #: download + compute + upload exceeds it are cut off and the server
@@ -59,8 +68,9 @@ class FLConfig:
     #: control-loop scheduler (:mod:`repro.fl.scheduler`): ``"sync"``
     #: (the seed round loop), ``"semisync"`` (over-select, aggregate the
     #: first quorum arrivals, cancel the tail), ``"buffered"`` (async
-    #: buffered aggregation with staleness discounts), or ``"auto"``
-    #: (resolve from ``REPRO_SCHEDULER``, defaulting to sync)
+    #: buffered aggregation with staleness discounts), ``"auto"``
+    #: (resolve from ``REPRO_SCHEDULER``, defaulting to sync), or an
+    #: inline spec (``"buffered:bs=8,sa=0.5"``)
     scheduler: str = "auto"
     #: arrivals per ``buffered`` flush; 0 picks half the concurrency,
     #: min 2, capped at the concurrency.  ``buffer_size == cohort`` with
@@ -76,6 +86,8 @@ class FLConfig:
     #: cancels the rest)
     over_select_frac: float = 0.25
     #: algorithm-specific knobs (e.g. FedProx mu, IFCA k, FedClust lambda)
+    #: plus prefix-namespaced component knobs (``net_*``, ``sched_*``),
+    #: validated against the registry's declared option names
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -95,55 +107,12 @@ class FLConfig:
             raise ValueError(
                 f"dropout_rate must be in [0, 1), got {self.dropout_rate}"
             )
-        if self.backend not in ("auto", "serial", "thread", "process"):
-            raise ValueError(
-                f"backend must be one of auto/serial/thread/process, "
-                f"got {self.backend!r}"
-            )
-        if self.workers < 0:
-            raise ValueError(f"workers must be >= 0, got {self.workers}")
-        if self.codec != "auto" and self.codec not in CODECS:
-            raise ValueError(
-                f"codec must be one of {sorted(CODECS)} (or 'auto'), "
-                f"got {self.codec!r}"
-            )
-        if not 0.0 < self.topk_frac <= 1.0:
-            raise ValueError(f"topk_frac must be in (0, 1], got {self.topk_frac}")
-        if self.network != "auto" and self.network not in NETWORKS:
-            raise ValueError(
-                f"network must be one of {sorted(NETWORKS)} (or 'auto'), "
-                f"got {self.network!r}"
-            )
-        if self.deadline is not None and self.deadline <= 0:
-            raise ValueError(f"deadline must be positive, got {self.deadline}")
-        if self.scheduler != "auto" and self.scheduler not in SCHEDULERS:
-            raise ValueError(
-                f"scheduler must be one of {sorted(SCHEDULERS)} (or 'auto'), "
-                f"got {self.scheduler!r}"
-            )
-        if self.buffer_size < 0:
-            raise ValueError(f"buffer_size must be >= 0, got {self.buffer_size}")
-        if self.staleness_alpha < 0:
-            raise ValueError(
-                f"staleness_alpha must be >= 0, got {self.staleness_alpha}"
-            )
-        if self.over_select_frac < 0:
-            raise ValueError(
-                f"over_select_frac must be >= 0, got {self.over_select_frac}"
-            )
-        # Typo-proof the subsystem prefixes in ``extra``: an unknown
-        # ``net_*``/``sched_*`` knob would otherwise be silently ignored.
-        for key in self.extra:
-            if key.startswith("net_") and key not in KNOWN_NET_KEYS:
-                raise ValueError(
-                    f"unknown network knob {key!r} in FLConfig.extra; "
-                    f"known net_ keys: {sorted(KNOWN_NET_KEYS)}"
-                )
-            if key.startswith("sched_") and key not in KNOWN_SCHED_KEYS:
-                raise ValueError(
-                    f"unknown scheduler knob {key!r} in FLConfig.extra; "
-                    f"known sched_ keys: {sorted(KNOWN_SCHED_KEYS)}"
-                )
+        # Component specs, their option fields, and the extra-dict prefix
+        # namespaces all validate against the registry declarations — one
+        # code path for every family, replacing the per-family ladders.
+        registry.validate_config(self)
+        # Cross-field checks the registry's per-option contracts cannot
+        # express stay here:
         mode = str(self.extra.get("sched_staleness_mode", "poly")).strip().lower()
         if mode not in ("poly", "const"):
             raise ValueError(
@@ -161,3 +130,17 @@ class FLConfig:
         merged = dict(self.extra)
         merged.update(kwargs)
         return replace(self, extra=merged)
+
+    def with_options(self, **fl_options) -> "FLConfig":
+        """A copy with flat registry options applied.
+
+        Accepts any key :func:`repro.fl.registry.apply_options` knows:
+        family names (``codec="topk"``), option names
+        (``topk_frac=0.1``, ``net_mbps=10.0``), or algorithm knobs
+        (``prox_mu=0.01``) — fields and ``extra`` entries are updated
+        accordingly.
+        """
+        config_overrides, extra_overrides = registry.apply_options(fl_options)
+        merged = dict(self.extra)
+        merged.update(extra_overrides)
+        return replace(self, extra=merged, **config_overrides)

@@ -58,6 +58,9 @@ from abc import ABC, abstractmethod
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Iterable, Sequence
 
+from repro.fl import registry
+from repro.fl.registry import opt, register
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.fl.server import ClientUpdate, FederatedAlgorithm
 
@@ -71,6 +74,18 @@ __all__ = [
     "make_backend",
     "resolve_workers",
 ]
+
+
+#: worker-pool size knob, shared by the thread/process backends and
+#: declared once for the whole family (``REPRO_WORKERS`` only fills a
+#: zero/unset value, and only when the backend resolved through "auto")
+registry.family_options("backend", [
+    opt("workers", int, 0,
+        low=0, env="REPRO_WORKERS", cli="workers", field="workers",
+        only_for=("thread", "process"), env_mode="auto_fill",
+        help="worker-pool size for thread/process backends "
+             "(0 picks min(4, cpu_count))"),
+])
 
 
 class ClientSlots:
@@ -170,6 +185,7 @@ class ExecutionBackend(ABC):
         return f"{type(self).__name__}()"
 
 
+@register("backend", "serial")
 class SerialBackend(ExecutionBackend):
     """Sequential in-process execution — the seed engine's exact behaviour."""
 
@@ -180,6 +196,7 @@ class SerialBackend(ExecutionBackend):
         return [fn(*args) for args in argslist]
 
 
+@register("backend", "thread")
 class ThreadBackend(ExecutionBackend):
     """Thread-pool execution with per-thread work-model replicas."""
 
@@ -229,6 +246,7 @@ def _run_chunk(payload: tuple[dict, list[tuple[str, tuple]]]) -> list:
     return [getattr(algorithm, method)(*args) for method, args in jobs]
 
 
+@register("backend", "process")
 class ProcessBackend(ExecutionBackend):
     """Forked worker-process execution with per-dispatch state sync.
 
@@ -305,12 +323,9 @@ class ProcessBackend(ExecutionBackend):
         return f"ProcessBackend(workers={self.workers})"
 
 
-#: registry used by :func:`make_backend` and ``FLConfig`` validation
-BACKENDS = {
-    "serial": SerialBackend,
-    "thread": ThreadBackend,
-    "process": ProcessBackend,
-}
+#: name → class, derived from the component registry (kept for
+#: introspection/back-compat; the registry is the source of truth)
+BACKENDS = registry.classes("backend")
 
 
 def make_backend(
@@ -323,42 +338,24 @@ def make_backend(
     Args:
         config: an :class:`~repro.fl.config.FLConfig` supplying default
             ``backend`` / ``workers`` knobs (optional).
-        backend: explicit backend name overriding the config — one of
-            ``"auto"``, ``"serial"``, ``"thread"``, ``"process"``.
+        backend: explicit backend spec overriding the config — a
+            registered name, ``"auto"``, or an inline spec like
+            ``"thread:workers=4"``.
         workers: explicit worker count overriding the config (``0``/``None``
             picks a machine-dependent default).
 
-    ``"auto"`` resolves from the environment: ``REPRO_BACKEND`` names the
-    backend (default ``serial``) and ``REPRO_WORKERS`` the pool size, which
-    lets an entire benchmark or test invocation switch backends without
-    touching code.
+    Resolution is the registry's (:func:`repro.fl.registry.resolve`):
+    ``"auto"`` reads ``REPRO_BACKEND`` (default ``serial``) and
+    ``REPRO_WORKERS``, which lets an entire benchmark or test invocation
+    switch backends without touching code.
 
     Returns:
         A fresh :class:`ExecutionBackend`; the caller owns it and must
         ``close()`` it when the run finishes.
     """
-    spec = backend
-    if spec is None:
-        spec = getattr(config, "backend", "serial") if config is not None else "serial"
-    n = workers
-    if n is None:
-        n = getattr(config, "workers", 0) if config is not None else 0
-    spec = str(spec).strip().lower()
-    if spec == "auto":
-        spec = os.environ.get("REPRO_BACKEND", "serial").strip().lower() or "serial"
-        if not n:
-            raw = os.environ.get("REPRO_WORKERS", "0").strip() or "0"
-            try:
-                n = int(raw)
-            except ValueError:
-                raise ValueError(f"REPRO_WORKERS must be an integer, got {raw!r}")
-    try:
-        cls = BACKENDS[spec]
-    except KeyError:
-        raise ValueError(
-            f"unknown execution backend {spec!r}; available: "
-            f"{sorted(BACKENDS)} (or 'auto')"
-        ) from None
-    if cls is SerialBackend:
-        return cls()
-    return cls(workers=n)
+    r = registry.resolve(
+        "backend", spec=backend, config=config, overrides={"workers": workers}
+    )
+    if r.impl.cls is SerialBackend:
+        return SerialBackend()
+    return r.impl.cls(workers=r.options["workers"])

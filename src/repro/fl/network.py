@@ -39,10 +39,10 @@ spread), ``net_straggler_frac`` / ``net_straggler_factor``, and
 
 from __future__ import annotations
 
-import os
-
 import numpy as np
 
+from repro.fl import registry
+from repro.fl.registry import opt, register
 from repro.utils.rng import RngFactory
 
 __all__ = [
@@ -62,20 +62,34 @@ __all__ = [
 #: bytes per second per Mbit/s (decimal, like the paper's Mb)
 _BYTES_PER_MBPS = 1_000_000.0 / 8.0
 
-#: ``FLConfig.extra`` keys the network models understand (prefix
-#: ``net_``); anything else with that prefix is a typo and rejected by
-#: ``FLConfig`` validation.
-KNOWN_NET_KEYS = frozenset(
-    {
-        "net_mbps",
-        "net_latency_s",
-        "net_step_seconds",
-        "net_sigma",
-        "net_straggler_frac",
-        "net_straggler_factor",
-        "net_availability",
-    }
-)
+#: ``FLConfig.extra`` knobs every network profile understands, declared
+#: once for the family.  The ``net_`` prefix namespaces them; an unknown
+#: key with that prefix is a typo and rejected by ``FLConfig``
+#: validation (derived via :func:`repro.fl.registry.known_prefix_keys`).
+registry.family_options("network", [
+    opt("net_mbps", float, 20.0,
+        env="REPRO_NET_MBPS", alias="mbps",
+        help="mean link speed, megabits/s (decimal, like the paper's Mb)"),
+    opt("net_latency_s", float, 0.05,
+        env="REPRO_NET_LATENCY_S", alias="latency_s",
+        help="one-way link latency, simulated seconds"),
+    opt("net_step_seconds", float, 0.01,
+        env="REPRO_NET_STEP_SECONDS", alias="step_seconds",
+        help="compute seconds per local SGD step at speed factor 1"),
+    opt("net_sigma", float, 0.5,
+        env="REPRO_NET_SIGMA", alias="sigma",
+        help="log-normal spread of per-client bandwidth/compute draws"),
+    opt("net_availability", float, 1.0,
+        low=0.0, high=1.0, low_inclusive=False,
+        env="REPRO_NET_AVAILABILITY", alias="availability",
+        help="probability a client is reachable in any given round"),
+    opt("deadline", float, None,
+        low=0.0, low_inclusive=False, optional=True,
+        env="REPRO_DEADLINE", cli="deadline", field="deadline",
+        inline=False, env_mode="fill",
+        help="per-round deadline in simulated seconds (late clients are "
+             "cut from aggregation)"),
+])
 
 
 class ClientLink:
@@ -171,6 +185,7 @@ class NetworkModel:
         return f"{type(self).__name__}(clients={self.num_clients})"
 
 
+@register("network", "ideal")
 class IdealNetwork(NetworkModel):
     """The seed behaviour: free, instant, always available."""
 
@@ -186,12 +201,14 @@ class IdealNetwork(NetworkModel):
         return np.ones(len(client_ids), dtype=bool)
 
 
+@register("network", "uniform")
 class UniformNetwork(NetworkModel):
     """Every client shares one finite link (``net_mbps``/``net_latency_s``)."""
 
     name = "uniform"
 
 
+@register("network", "hetero")
 class HeterogeneousNetwork(NetworkModel):
     """Log-normal per-client bandwidth and compute speed.
 
@@ -213,6 +230,17 @@ class HeterogeneousNetwork(NetworkModel):
         return ClientLink(down, up, latency, compute)
 
 
+@register("network", "stragglers", options=[
+    opt("net_straggler_frac", float, 0.25,
+        low=0.0, high=1.0,
+        env="REPRO_NET_STRAGGLER_FRAC", alias="straggler_frac",
+        only_for=("stragglers",),
+        help="fraction of clients in the slow compute tail"),
+    opt("net_straggler_factor", float, 8.0,
+        env="REPRO_NET_STRAGGLER_FACTOR", alias="straggler_factor",
+        only_for=("stragglers",),
+        help="compute slow-down multiplier for straggler clients"),
+])
 class StragglerNetwork(HeterogeneousNetwork):
     """``hetero`` plus a slow tail of compute stragglers.
 
@@ -240,6 +268,7 @@ class StragglerNetwork(HeterogeneousNetwork):
         return ln
 
 
+@register("network", "flaky")
 class FlakyNetwork(HeterogeneousNetwork):
     """``hetero`` with per-round Bernoulli availability (default 0.8)."""
 
@@ -247,14 +276,13 @@ class FlakyNetwork(HeterogeneousNetwork):
     availability = 0.8
 
 
-#: registry used by :func:`make_network` and ``FLConfig`` validation
-NETWORKS = {
-    "ideal": IdealNetwork,
-    "uniform": UniformNetwork,
-    "hetero": HeterogeneousNetwork,
-    "stragglers": StragglerNetwork,
-    "flaky": FlakyNetwork,
-}
+#: name → class, derived from the component registry (kept for
+#: introspection/back-compat; the registry is the source of truth)
+NETWORKS = registry.classes("network")
+
+#: legacy alias for the registry-derived ``net_`` key set (every option
+#: any profile declares under the family prefix)
+KNOWN_NET_KEYS = registry.known_prefix_keys("network")
 
 
 def make_network(
@@ -271,31 +299,25 @@ def make_network(
         num_clients: federation size (for availability vectors).
         rngs: the run's :class:`~repro.utils.rng.RngFactory` (a fresh
             seed-0 factory when omitted, for standalone use in tests).
-        network: explicit profile name overriding the config.
+        network: explicit profile spec overriding the config — a
+            registered name, ``"auto"``, or an inline spec like
+            ``"stragglers:straggler_factor=8"``.
 
-    ``"auto"`` resolves from the ``REPRO_NETWORK`` environment variable
-    (default ``ideal``), mirroring ``REPRO_BACKEND``.
+    Resolution is the registry's (:func:`repro.fl.registry.resolve`):
+    ``"auto"`` reads ``REPRO_NETWORK`` (default ``ideal``), and ``net_*``
+    knobs may come from ``FLConfig.extra``, ``REPRO_NET_*`` env vars, or
+    inline assignments — the latter two overlay the config's ``extra``.
 
     Returns:
         A fresh :class:`NetworkModel` bound to the run's seed.
     """
-    spec = network
-    if spec is None:
-        spec = getattr(config, "network", "ideal") if config is not None else "ideal"
-    spec = str(spec).strip().lower()
-    if spec == "auto":
-        spec = os.environ.get("REPRO_NETWORK", "ideal").strip().lower() or "ideal"
-    try:
-        cls = NETWORKS[spec]
-    except KeyError:
-        raise ValueError(
-            f"unknown network profile {spec!r}; available: "
-            f"{sorted(NETWORKS)} (or 'auto')"
-        ) from None
+    r = registry.resolve("network", spec=network, config=config)
     if rngs is None:
         rngs = RngFactory(0)
     extra = getattr(config, "extra", None) if config is not None else None
-    return cls(num_clients, rngs, extra)
+    if r.provided_extra:
+        extra = {**(extra or {}), **r.provided_extra}
+    return r.impl.cls(num_clients, rngs, extra)
 
 
 def resolve_deadline(config=None) -> float | None:
@@ -303,16 +325,8 @@ def resolve_deadline(config=None) -> float | None:
 
     ``FLConfig.deadline`` wins; when unset, the ``REPRO_DEADLINE``
     environment variable applies (so the experiments CLI can switch every
-    cell of a table at once).
+    cell of a table at once).  Declared as a registry option of the
+    network family; this helper delegates to
+    :func:`repro.fl.registry.resolve_field_option`.
     """
-    deadline = getattr(config, "deadline", None) if config is not None else None
-    if deadline is None:
-        raw = os.environ.get("REPRO_DEADLINE", "").strip()
-        if raw:
-            try:
-                deadline = float(raw)
-            except ValueError:
-                raise ValueError(f"REPRO_DEADLINE must be a float, got {raw!r}")
-    if deadline is not None and deadline <= 0:
-        raise ValueError(f"deadline must be positive, got {deadline}")
-    return deadline
+    return registry.resolve_field_option("network", "deadline", config)

@@ -71,7 +71,6 @@ size; 0 = the nominal cohort size).
 from __future__ import annotations
 
 import heapq
-import os
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
@@ -79,9 +78,11 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from repro.fl import registry
 from repro.fl.codecs import Encoded, IdentityCodec
 from repro.fl.history import RoundRecord
 from repro.fl.network import IdealNetwork, resolve_deadline
+from repro.fl.registry import opt, register
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.fl.server import ClientUpdate, FederatedAlgorithm
@@ -97,10 +98,10 @@ __all__ = [
     "nominal_cohort",
 ]
 
-#: ``FLConfig.extra`` keys the scheduler subsystem understands (prefix
-#: ``sched_``); anything else with that prefix is a typo and rejected by
-#: ``FLConfig`` validation.
-KNOWN_SCHED_KEYS = frozenset({"sched_staleness_mode", "sched_concurrency"})
+#: legacy alias for the registry-derived ``sched_`` key set; populated
+#: at the bottom of the module, after every scheduler has registered its
+#: options.
+KNOWN_SCHED_KEYS: frozenset[str]
 
 
 def nominal_cohort(num_clients: int, sample_rate: float) -> int:
@@ -208,6 +209,11 @@ class Scheduler(ABC):
         self.buffer_size = int(buffer_size)
         self.staleness_alpha = float(staleness_alpha)
         self.over_select_frac = float(over_select_frac)
+        #: ``sched_*`` knobs provided via env var or inline spec string
+        #: (``make_scheduler`` fills this); consulted before
+        #: ``FLConfig.extra`` so inline specs like
+        #: ``"buffered:concurrency=8"`` work without touching the config
+        self.extra_overrides: dict = {}
         if self.buffer_size < 0:
             raise ValueError(f"buffer_size must be >= 0, got {buffer_size}")
         if self.staleness_alpha < 0:
@@ -332,10 +338,17 @@ class Scheduler(ABC):
             u.params = received
         return u
 
+    def extra_knob(self, algo: "FederatedAlgorithm", key: str, default):
+        """A ``sched_*`` knob: env/inline overrides, then ``FLConfig.extra``."""
+        if key in self.extra_overrides:
+            return self.extra_overrides[key]
+        return algo.config.extra.get(key, default)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}()"
 
 
+@register("scheduler", "sync")
 class SyncScheduler(Scheduler):
     """The seed engine's synchronous round loop, extracted verbatim.
 
@@ -382,6 +395,13 @@ class SyncScheduler(Scheduler):
                 spans.flush_record(round_idx, delivered)
 
 
+@register("scheduler", "semisync", options=[
+    opt("over_select_frac", float, 0.25,
+        low=0.0, env="REPRO_OVER_SELECT_FRAC", cli="over-select-frac",
+        field="over_select_frac", alias="osf", only_for=("semisync",),
+        help="extra cohort fraction `semisync` over-selects before "
+             "keeping the first quorum arrivals"),
+])
 class SemiSyncScheduler(Scheduler):
     """Over-select, aggregate the first *quorum* arrivals, cancel the tail.
 
@@ -458,6 +478,31 @@ class SemiSyncScheduler(Scheduler):
                 spans.flush_record(round_idx, delivered)
 
 
+@register("scheduler", "buffered", options=[
+    opt("buffer_size", int, 0,
+        low=0, env="REPRO_BUFFER_SIZE", cli="buffer-size",
+        field="buffer_size", alias="bs", only_for=("buffered",),
+        help="arrivals the `buffered` scheduler accumulates before "
+             "folding them in (0 = half the concurrency, min 2, capped "
+             "at the concurrency); `buffer_size == cohort` with "
+             "`staleness_alpha` 0 reduces to `sync` exactly"),
+    opt("staleness_alpha", float, 0.5,
+        low=0.0, env="REPRO_STALENESS_ALPHA", cli="staleness-alpha",
+        field="staleness_alpha", alias="sa", only_for=("buffered",),
+        help="staleness-discount strength for buffered aggregation "
+             "weights (`(1+s)^-alpha`; 0 disables)"),
+    opt("sched_concurrency", int, 0,
+        low=0, env="REPRO_SCHED_CONCURRENCY", alias="concurrency",
+        only_for=("buffered",),
+        help="buffered's concurrent-client pool size (0 = the nominal "
+             "cohort size)"),
+    opt("sched_staleness_mode", str, "poly",
+        choices=("poly", "const"),
+        env="REPRO_SCHED_STALENESS_MODE", alias="staleness_mode",
+        only_for=("buffered",),
+        help="staleness-discount shape: `poly` = `(1+s)^-alpha`, "
+             "`const` = a flat alpha for any stale update"),
+])
 class BufferedScheduler(Scheduler):
     """Buffered asynchronous aggregation on the virtual-clock event queue.
 
@@ -484,7 +529,7 @@ class BufferedScheduler(Scheduler):
         self.begin(algo)
         spans = _Spans(algo)
         cohort = nominal_cohort(algo.fed.num_clients, cfg.sample_rate)
-        concurrency = int(cfg.extra.get("sched_concurrency", 0)) or cohort
+        concurrency = int(self.extra_knob(algo, "sched_concurrency", 0)) or cohort
         if concurrency < 1:
             raise ValueError(f"sched_concurrency must be >= 1, got {concurrency}")
         k = self.buffer_size or min(concurrency, max(2, concurrency // 2))
@@ -562,12 +607,12 @@ class BufferedScheduler(Scheduler):
                 dispatch(now)
 
 
-#: registry used by :func:`make_scheduler` and ``FLConfig`` validation
-SCHEDULERS = {
-    "sync": SyncScheduler,
-    "semisync": SemiSyncScheduler,
-    "buffered": BufferedScheduler,
-}
+#: name → class, derived from the component registry (kept for
+#: introspection/back-compat; the registry is the source of truth)
+SCHEDULERS = registry.classes("scheduler")
+
+#: legacy alias for the registry-derived ``sched_`` key set
+KNOWN_SCHED_KEYS = registry.known_prefix_keys("scheduler")
 
 
 def make_scheduler(
@@ -583,8 +628,9 @@ def make_scheduler(
         config: an :class:`~repro.fl.config.FLConfig` supplying the
             ``scheduler`` / ``buffer_size`` / ``staleness_alpha`` /
             ``over_select_frac`` knobs (optional).
-        scheduler: explicit scheduler name overriding the config — one of
-            ``"auto"``, ``"sync"``, ``"semisync"``, ``"buffered"``.
+        scheduler: explicit scheduler spec overriding the config — a
+            registered name, ``"auto"``, or an inline spec like
+            ``"buffered:bs=8,sa=0.5"``.
         buffer_size: explicit arrivals-per-flush for ``buffered``
             (``0``/``None`` defaults to half the concurrency, min 2,
             capped at the concurrency).
@@ -592,56 +638,33 @@ def make_scheduler(
         over_select_frac: explicit over-selection fraction for
             ``semisync``.
 
-    ``"auto"`` resolves from the environment: ``REPRO_SCHEDULER`` names
-    the scheduler (default ``sync``) and ``REPRO_BUFFER_SIZE`` /
-    ``REPRO_STALENESS_ALPHA`` / ``REPRO_OVER_SELECT_FRAC`` the knobs,
-    mirroring ``REPRO_BACKEND`` / ``REPRO_CODEC`` / ``REPRO_NETWORK``.
+    Resolution is the registry's (:func:`repro.fl.registry.resolve`):
+    ``"auto"`` reads ``REPRO_SCHEDULER`` (default ``sync``) plus
+    ``REPRO_BUFFER_SIZE`` / ``REPRO_STALENESS_ALPHA`` /
+    ``REPRO_OVER_SELECT_FRAC``, mirroring every other family.
 
     Returns:
         A fresh :class:`Scheduler`; one instance serves one run.
     """
-    spec = scheduler
-    if spec is None:
-        spec = getattr(config, "scheduler", "sync") if config is not None else "sync"
-    bs = buffer_size
-    if bs is None:
-        bs = getattr(config, "buffer_size", 0) if config is not None else 0
-    sa = staleness_alpha
-    if sa is None:
-        sa = getattr(config, "staleness_alpha", 0.5) if config is not None else 0.5
-    osf = over_select_frac
-    if osf is None:
-        osf = (
-            getattr(config, "over_select_frac", 0.25) if config is not None else 0.25
-        )
-    spec = str(spec).strip().lower()
-    if spec == "auto":
-        spec = os.environ.get("REPRO_SCHEDULER", "sync").strip().lower() or "sync"
-        for env, cast, setter in (
-            ("REPRO_BUFFER_SIZE", int, "bs"),
-            ("REPRO_STALENESS_ALPHA", float, "sa"),
-            ("REPRO_OVER_SELECT_FRAC", float, "osf"),
-        ):
-            raw = os.environ.get(env, "").strip()
-            if raw:
-                try:
-                    value = cast(raw)
-                except ValueError:
-                    raise ValueError(
-                        f"{env} must be {'an integer' if cast is int else 'a float'}, "
-                        f"got {raw!r}"
-                    )
-                if setter == "bs":
-                    bs = value
-                elif setter == "sa":
-                    sa = value
-                else:
-                    osf = value
-    try:
-        cls = SCHEDULERS[spec]
-    except KeyError:
-        raise ValueError(
-            f"unknown scheduler {spec!r}; available: "
-            f"{sorted(SCHEDULERS)} (or 'auto')"
-        ) from None
-    return cls(buffer_size=bs, staleness_alpha=sa, over_select_frac=osf)
+    r = registry.resolve(
+        "scheduler",
+        spec=scheduler,
+        config=config,
+        overrides={
+            "buffer_size": buffer_size,
+            "staleness_alpha": staleness_alpha,
+            "over_select_frac": over_select_frac,
+        },
+    )
+    # knobs an impl does not declare (e.g. buffer_size for sync) fall
+    # back to their registry-declared defaults — one source of truth
+    def knob(key):
+        return r.options.get(key, registry.option_default("scheduler", key))
+
+    sched = r.impl.cls(
+        buffer_size=knob("buffer_size"),
+        staleness_alpha=knob("staleness_alpha"),
+        over_select_frac=knob("over_select_frac"),
+    )
+    sched.extra_overrides = dict(r.provided_extra)
+    return sched

@@ -270,8 +270,14 @@ class FederatedAlgorithm(ABC):
             sched.staleness_alpha if sched is not None
             else self.config.staleness_alpha
         )
+        # env/inline-spec scheduler knobs (registry resolution) override
+        # the config's extra dict
+        overrides = getattr(sched, "extra_overrides", None) or {}
         mode = str(
-            self.config.extra.get("sched_staleness_mode", "poly")
+            overrides.get(
+                "sched_staleness_mode",
+                self.config.extra.get("sched_staleness_mode", "poly"),
+            )
         ).strip().lower()
         if mode == "poly":
             return float((1.0 + staleness) ** (-alpha))
@@ -425,7 +431,9 @@ class FederatedAlgorithm(ABC):
         """Execute the federation and return its history.
 
         ``run`` builds the run's backend, wire layer, and control-loop
-        scheduler (:mod:`repro.fl.scheduler`), executes round-0 ``setup``,
+        scheduler — each resolved through the component registry
+        (:mod:`repro.fl.registry`) from the config, the ``REPRO_*``
+        environment, or inline spec strings — executes round-0 ``setup``,
         and hands rounds 1..T to the scheduler.  The default ``sync``
         scheduler is the seed round loop: sample clients, drop the
         unavailable (network model), meter downloads, draw dropouts,
