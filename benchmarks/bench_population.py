@@ -1,0 +1,159 @@
+"""Population benchmark: dynamic rosters vs the fixed-population baseline.
+
+Measures the engine's dynamic-population subsystem
+(:mod:`repro.fl.population`) on the quickstart configuration (CIFAR-10,
+label skew): the same FedClust federation runs with a **static** roster,
+under **churn + late joiners** with the paper's weight-driven newcomer
+assignment (Alg. 2: the joiner probes θ⁰, uploads partial weights, and
+is assigned to the nearest stored cluster centroid), and under the
+``random`` assignment ablation.
+
+Two assertions capture the paper's practical claim:
+
+* churn with weight-driven newcomer assignment stays within
+  ``ACCURACY_WINDOW`` accuracy points of the static-population run —
+  clients coming, going, and joining late does not degrade the
+  federation when newcomers are routed by their weights; and
+* weight-driven assignment matches or beats the ``random`` ablation in
+  final mean accuracy — the weight-distance rule, not mere
+  participation, is what absorbs the newcomers.
+
+Runs standalone too (CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_population.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments import BENCH_SCALE, SMOKE_SCALE
+from repro.experiments.runner import run_cell
+
+METHOD = "fedclust"
+DATASET = "cifar10"
+SETTING = "label_skew_20"
+#: churn + late joiners, times on the population clock (one tick per
+#: round under the default ideal network)
+CHURN = (
+    "churn:session=6,gap=2,joiners=3,join_start=2,join_every=2,assign={}"
+)
+SCENARIOS = {
+    "static": "static",
+    "churn+weights": CHURN.format("weights"),
+    "churn+random": CHURN.format("random"),
+}
+#: churn + weight-assignment must land within this many accuracy points
+#: of the static-population run (the "within 2%" gate)
+ACCURACY_WINDOW = 2.0
+SEEDS = (0, 1, 2)
+
+
+def _scale(smoke: bool):
+    """A roster big enough for churn to bite, still CPU-friendly."""
+    base = SMOKE_SCALE if smoke else BENCH_SCALE
+    return base.scaled(
+        num_clients=16, rounds=8, sample_rate=0.5, n_samples=640,
+        label_set_pool=4, eval_every=2,
+    )
+
+
+def run_study(scale, seeds=SEEDS) -> dict:
+    """One row per scenario: mean/per-seed accuracy + event counts."""
+    rows: dict[str, dict] = {}
+    for name, spec in SCENARIOS.items():
+        accs, joins, leaves, returns = [], 0, 0, 0
+        for seed in seeds:
+            res = run_cell(
+                DATASET, METHOD, SETTING, scale, seed=seed,
+                fl_options={"population": spec},
+            )
+            accs.append(100.0 * res.final_accuracy)
+            h = res.history
+            joins += len(h.population_events("join"))
+            leaves += len(h.population_events("leave"))
+            returns += len(h.population_events("return"))
+        rows[name] = {
+            "accuracy": float(np.mean(accs)),
+            "per_seed": accs,
+            "joins": joins,
+            "leaves": leaves,
+            "returns": returns,
+        }
+    return rows
+
+
+def render(rows: dict, scale_name: str) -> str:
+    lines = [
+        f"Population study — dynamic rosters vs static ({scale_name} scale, "
+        f"{DATASET} / {SETTING} / {METHOD})",
+        "",
+        "churn: exponential up/down sessions + 3 late joiners entering",
+        "through the newcomer path; 'weights' = the paper's Alg. 2",
+        "nearest-centroid assignment, 'random' = the ablation.",
+        "",
+        f"{'population':15s} {'acc %':>7s} {'per-seed':>22s} "
+        f"{'joins':>6s} {'leaves':>7s} {'returns':>8s}",
+        "-" * 70,
+    ]
+    for name, row in rows.items():
+        per_seed = " ".join(f"{a:.1f}" for a in row["per_seed"])
+        lines.append(
+            f"{name:15s} {row['accuracy']:>7.2f} {per_seed:>22s} "
+            f"{row['joins']:>6d} {row['leaves']:>7d} {row['returns']:>8d}"
+        )
+    return "\n".join(lines)
+
+
+def check(rows: dict) -> None:
+    """The two population gates (see module docstring)."""
+    static = rows["static"]["accuracy"]
+    weights = rows["churn+weights"]["accuracy"]
+    random = rows["churn+random"]["accuracy"]
+    assert rows["churn+weights"]["leaves"] > 0, "churn never fired a leave"
+    assert rows["churn+weights"]["joins"] > 0, "no joiner ever arrived"
+    assert weights >= static - ACCURACY_WINDOW, (
+        f"churn + weight assignment reached {weights:.2f}%, more than "
+        f"{ACCURACY_WINDOW} points below the static population's "
+        f"{static:.2f}%"
+    )
+    assert weights >= random, (
+        f"weight-driven newcomer assignment ({weights:.2f}%) lost to the "
+        f"random-assignment ablation ({random:.2f}%)"
+    )
+
+
+def test_population_churn(benchmark, save_artifact):
+    from conftest import run_once
+
+    rows = run_once(benchmark, lambda: run_study(_scale(smoke=False)))
+    save_artifact("population_study", render(rows, "bench"))
+    check(rows)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny configuration for CI (seconds instead of minutes)",
+    )
+    args = parser.parse_args(argv)
+    rows = run_study(_scale(args.smoke))
+    name = "population_smoke" if args.smoke else "population_study"
+    text = render(rows, "smoke" if args.smoke else "bench")
+    out_dir = Path(__file__).parent / "out"
+    out_dir.mkdir(exist_ok=True)
+    path = out_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(text)
+    print(f"[saved to {path}]")
+    check(rows)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

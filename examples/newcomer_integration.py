@@ -61,6 +61,28 @@ def main() -> None:
         print(f"  client {ix} (true group {true_group}) -> cluster "
               f"{res.assigned_cluster}, local test accuracy {100 * res.accuracy:.1f}%")
 
+    # The same path, live: a *dynamic population* joins newcomers while
+    # the federation is still training (see docs/architecture.md,
+    # "Dynamic populations").  The last fifth of the roster is held out
+    # of round-0 clustering and arrives mid-run through the identical
+    # probe -> nearest-centroid rule.
+    print("\nlive joins via the growth population model:")
+    dataset2 = make_dataset("cifar10", seed=0, n_samples=1200, size=8)
+    fed2 = grouped_label_partition(
+        dataset2, [[0, 1, 2, 3, 4], [5, 6, 7, 8, 9]], clients_per_group=8, rng=0
+    )
+    cfg2 = FLConfig(
+        rounds=6, sample_rate=0.5, local_epochs=2, batch_size=10,
+        lr=0.05, momentum=0.5, eval_every=6,
+        population="growth:joiners=3,join_start=2,join_every=1",
+    ).with_extra(lam="auto")
+    live = FedClust(fed2, model_fn, cfg2, seed=0)
+    hist = live.run()
+    for event in hist.population_events("join"):
+        print(f"  t={event['t']:.0f}: client {event['client']} joined "
+              f"-> cluster {event['cluster']}")
+    print(f"final accuracy with live joins: {100 * hist.final_accuracy():.1f}%")
+
 
 if __name__ == "__main__":
     main()

@@ -82,5 +82,36 @@ class ClusteredAlgorithm(FederatedAlgorithm):
                     [u.state for u in members], weights
                 )
 
+    # ------------------------------------------------------------------
+    # dynamic populations (:mod:`repro.fl.population`)
+    # ------------------------------------------------------------------
+    def assign_joiner(self, client_id: int, key_idx: int) -> int:
+        """Cluster for a client joining mid-run (population ``join``).
+
+        The generic rule set: a client the round-0 assignment already
+        covered (IFCA/CFL assign everyone up front) keeps its cluster;
+        otherwise ``pop_assign`` picks ``coldstart`` (the largest
+        existing cluster, no probe) or a seeded uniform draw —
+        ``random``, and the fallback for ``weights`` on algorithms
+        without stored centroids.  FedClust overrides this with the
+        paper's Alg. 2 weight-distance rule.
+        """
+        if client_id < len(self.cluster_of):
+            return int(self.cluster_of[client_id])
+        mode = self.population.assign if self.population is not None else "random"
+        if mode == "coldstart":
+            return int(np.argmax(np.bincount(self.cluster_of, minlength=self.num_clusters)))
+        return int(self.rngs.make("population.assign", client_id).integers(self.num_clusters))
+
+    def on_join(self, client_id: int, key_idx: int) -> dict:
+        """Grow the assignment to cover a joining client."""
+        gid = self.assign_joiner(client_id, key_idx)
+        if client_id >= len(self.cluster_of):
+            grown = np.zeros(client_id + 1, dtype=np.int64)
+            grown[: len(self.cluster_of)] = self.cluster_of
+            self.cluster_of = grown
+        self.cluster_of[client_id] = gid
+        return {"cluster": int(gid)}
+
     def cluster_sizes(self) -> np.ndarray:
         return np.bincount(self.cluster_of, minlength=self.num_clusters)

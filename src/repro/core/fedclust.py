@@ -176,6 +176,35 @@ class FedClust(ClusteredAlgorithm):
         d = np.linalg.norm(self.cluster_centroids - partial_weights[None, :], axis=1)
         return int(np.argmin(d))
 
+    def assign_joiner(self, client_id: int, key_idx: int) -> int:
+        """The paper's live-join path (dynamic populations).
+
+        With ``pop_assign="weights"`` (the default) the joiner runs the
+        Alg. 2 probe — train θ⁰ locally, upload partial weights — and is
+        assigned to the nearest stored centroid via
+        :meth:`assign_newcomer`; the probe's θ⁰ download and partial
+        upload are metered like the round-0 traffic.  The ``random`` /
+        ``coldstart`` ablations delegate to the generic clustered rule.
+        """
+        pop = self.population
+        mode = pop.assign if pop is not None else "weights"
+        if mode != "weights" or self.cluster_centroids is None:
+            return super().assign_joiner(client_id, key_idx)
+        from repro.core.newcomer import probe_partial_weights
+
+        self.comm.record_download(key_idx, self.model_bytes)
+        self.comm.record_upload(key_idx, self.partial_bytes)
+        epochs = (
+            pop.probe_epochs
+            if pop is not None and pop.probe_epochs is not None
+            else self.warmup_epochs
+        )
+        partial = probe_partial_weights(
+            self, self.fed[client_id], epochs,
+            self.rngs.make("population.probe", client_id),
+        )
+        return self.assign_newcomer(partial)
+
     # ------------------------------------------------------------------
     # introspection used by the λ-sweep experiment (Fig. 4)
     # ------------------------------------------------------------------

@@ -21,7 +21,49 @@ from repro.nn.optim import SGD
 from repro.nn.serialization import unflatten_params
 from repro.utils.rng import as_generator
 
-__all__ = ["NewcomerResult", "incorporate_newcomer", "incorporate_newcomers"]
+__all__ = [
+    "NewcomerResult",
+    "probe_partial_weights",
+    "incorporate_newcomer",
+    "incorporate_newcomers",
+]
+
+
+def probe_partial_weights(
+    algo: FedClust,
+    client: ClientData,
+    epochs: int | None = None,
+    rng: int | np.random.Generator = 0,
+) -> np.ndarray:
+    """Alg. 2 lines 1-3: the newcomer's weight probe.
+
+    The joining client trains the initial global model θ⁰ on its local
+    data for a few epochs and returns only the strategically selected
+    partial weights — the vector the server compares against its stored
+    cluster centroids.  Shared by the post-hoc Table-6 protocol
+    (:func:`incorporate_newcomer`) and the live dynamic-population join
+    path (:meth:`repro.core.fedclust.FedClust.assign_joiner`).
+
+    Args:
+        algo: a FedClust instance whose ``setup()`` has completed.
+        client: the newcomer's local data.
+        epochs: probe epochs (default: the federation's warm-up epochs).
+        rng: seed or generator for the probe's local training.
+
+    Returns:
+        The flat partial-weight vector ``algo.selection`` selects.
+    """
+    rng = as_generator(rng)
+    cfg = algo.config
+    model = algo.model
+    unflatten_params(model, algo.theta0)
+    opt = SGD(model, lr=cfg.lr, momentum=cfg.momentum, weight_decay=cfg.weight_decay)
+    local_sgd(
+        model, opt, client.train_x, client.train_y,
+        epochs=algo.warmup_epochs if epochs is None else int(epochs),
+        batch_size=cfg.batch_size, rng=rng,
+    )
+    return select_weights(model, algo.selection, algo.selection_k)
 
 
 @dataclass(frozen=True)
@@ -71,15 +113,9 @@ def incorporate_newcomer(
     cfg = algo.config
     model = algo.model
 
-    # 1-2: newcomer trains θ⁰ locally.
-    unflatten_params(model, algo.theta0)
-    opt = SGD(model, lr=cfg.lr, momentum=cfg.momentum, weight_decay=cfg.weight_decay)
-    local_sgd(
-        model, opt, client.train_x, client.train_y,
-        epochs=algo.warmup_epochs, batch_size=cfg.batch_size, rng=rng,
-    )
-    # 3: transmit partial weights; 4-5: server assigns nearest cluster.
-    partial = select_weights(model, algo.selection, algo.selection_k)
+    # 1-3: newcomer trains θ⁰ locally, transmits partial weights;
+    # 4-5: server assigns the nearest cluster.
+    partial = probe_partial_weights(algo, client, rng=rng)
     gid = algo.assign_newcomer(partial)
 
     # Personalize the received cluster model on local data, then test.

@@ -104,6 +104,74 @@ class FederatedDataset:
             out[i] = seen.setdefault(s, len(seen))
         return out
 
+    def detach_joiners(self, k: int) -> list[ClientData]:
+        """Hold out the last ``k`` clients as a late-joiner pool.
+
+        Unlike :meth:`split_newcomers` (which builds two independent
+        dataset views for the post-hoc Table-6 protocol), this mutates
+        the dataset in place for a *running* federation with a dynamic
+        population (:mod:`repro.fl.population`): the detached clients'
+        shards stay materialised but leave the roster — ``num_clients``,
+        iteration, and the headline all-client accuracy metric reflect
+        only clients the server has met — until :meth:`attach` folds
+        each one back in at its join time.  The partition metadata is
+        split alongside (:meth:`repro.data.partition.Partition.split_tail`)
+        so ``sizes()``/``validate_disjoint`` keep describing the active
+        roster.
+
+        Args:
+            k: pool size, in ``(0, num_clients)``.
+
+        Returns:
+            The detached clients, in ascending id order.
+        """
+        if not 0 < k < len(self.clients):
+            raise ValueError(
+                f"k must be in (0, {len(self.clients)}), got {k}"
+            )
+        pool = self.clients[-k:]
+        self.clients = self.clients[:-k]
+        self._detached_partition: Partition | None = None
+        if self.partition is not None and self.partition.num_clients >= len(
+            self.clients
+        ) + k:
+            self.partition, self._detached_partition = self.partition.split_tail(k)
+        return pool
+
+    def attach(self, client: ClientData) -> None:
+        """Fold a detached (or brand-new) client back into the roster.
+
+        Ids must stay contiguous — ``client.client_id`` has to be the
+        next id — so every ``range(num_clients)`` sweep (evaluation,
+        setup) remains valid.
+
+        Args:
+            client: the joining client's shard.
+
+        Raises:
+            ValueError: if the id would break contiguity.
+        """
+        if client.client_id != len(self.clients):
+            raise ValueError(
+                f"client_id {client.client_id} breaks id contiguity; "
+                f"expected {len(self.clients)}"
+            )
+        self.clients.append(client)
+        detached = getattr(self, "_detached_partition", None)
+        if self.partition is not None and detached is not None and detached.client_indices:
+            self.partition = Partition(
+                self.partition.client_indices + detached.client_indices[:1],
+                self.partition.scheme,
+                dict(self.partition.params),
+                client_label_sets=self.partition.client_label_sets,
+            )
+            self._detached_partition = Partition(
+                detached.client_indices[1:],
+                detached.scheme,
+                dict(detached.params),
+                client_label_sets=detached.client_label_sets,
+            )
+
     def split_newcomers(self, k: int) -> tuple["FederatedDataset", "FederatedDataset"]:
         """Hold out the last ``k`` clients as post-federation newcomers."""
         if not 0 < k < len(self.clients):

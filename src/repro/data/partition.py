@@ -62,6 +62,36 @@ class Partition:
                 raise ValueError("partition assigns a sample to two clients")
             seen[ix] = True
 
+    def split_tail(self, k: int) -> tuple["Partition", "Partition"]:
+        """Split off the last ``k`` clients' shards as their own partition.
+
+        Supports dynamic populations (:mod:`repro.fl.population`): a
+        federation holding out late joiners keeps its partition metadata
+        consistent with the *active* roster, while the tail partition
+        travels with the joiner pool until each shard is re-attached.
+        ``client_label_sets`` stays full-size on both halves — it is
+        indexed by preserved client id, not by position (see
+        :meth:`repro.data.federated.FederatedDataset.ground_truth_groups`).
+
+        Args:
+            k: tail size, in ``(0, num_clients)``.
+
+        Returns:
+            ``(head, tail)`` partitions sharing the underlying index
+            arrays (no copies).
+        """
+        if not 0 < k < self.num_clients:
+            raise ValueError(f"k must be in (0, {self.num_clients}), got {k}")
+        head = Partition(
+            self.client_indices[:-k], self.scheme, dict(self.params),
+            client_label_sets=self.client_label_sets,
+        )
+        tail = Partition(
+            self.client_indices[-k:], self.scheme, dict(self.params),
+            client_label_sets=self.client_label_sets,
+        )
+        return head, tail
+
 
 def iid_partition(
     labels: np.ndarray, num_clients: int, rng: int | np.random.Generator = 0

@@ -25,13 +25,16 @@ from repro.experiments.reporting import (
     format_curves,
     format_figure1,
     format_figure4,
+    format_population_table,
     format_scalar_table,
 )
 from repro.experiments.runner import CellResult, run_cell, run_methods
 from repro.experiments.tables import (
+    POPULATION_SCENARIOS,
     table_accuracy,
     table_comm_cost,
     table_newcomers,
+    table_population,
     table_rounds_to_target,
 )
 
@@ -54,12 +57,15 @@ __all__ = [
     "table_rounds_to_target",
     "table_comm_cost",
     "table_newcomers",
+    "table_population",
+    "POPULATION_SCENARIOS",
     "figure1",
     "figure3",
     "figure4",
     "block_contrast",
     "format_accuracy_table",
     "format_scalar_table",
+    "format_population_table",
     "format_figure1",
     "format_figure4",
     "format_curves",

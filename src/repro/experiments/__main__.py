@@ -49,10 +49,12 @@ from repro.experiments import (
     format_curves,
     format_figure1,
     format_figure4,
+    format_population_table,
     format_scalar_table,
     table_accuracy,
     table_comm_cost,
     table_newcomers,
+    table_population,
     table_rounds_to_target,
 )
 from repro.experiments.components import (
@@ -68,7 +70,7 @@ SCALES = {"bench": BENCH_SCALE, "smoke": SMOKE_SCALE, "paper": PAPER_SCALE}
 DATASETS = ["cifar10", "cifar100", "fmnist", "svhn"]
 ARTIFACTS = [
     "figure1", "table1", "table2", "table3", "figure3",
-    "table4", "table5", "figure4", "table6",
+    "table4", "table5", "figure4", "table6", "population",
 ]
 COMMANDS = ARTIFACTS + ["all", "components"]
 
@@ -127,6 +129,14 @@ def run_artifact(name: str, scale, seeds, datasets) -> str:
         return format_accuracy_table(
             table_newcomers("label_skew_20", scale, datasets, seeds=seeds),
             "Table 6 — newcomer accuracy (%), label skew 20%",
+        )
+    if name == "population":
+        return format_population_table(
+            table_population(
+                "label_skew_20", scale.scaled(rounds=max(scale.rounds, 8)),
+                datasets, seeds=seeds,
+            ),
+            "Population study — accuracy (%) under churn/growth, label skew 20%",
         )
     raise KeyError(name)
 

@@ -7,6 +7,7 @@ import numpy as np
 __all__ = [
     "format_accuracy_table",
     "format_scalar_table",
+    "format_population_table",
     "format_figure4",
     "format_figure1",
     "format_curves",
@@ -97,6 +98,36 @@ def format_scalar_table(table: dict, title: str = "", fmt: str = "{:.2f}") -> st
                 v = table["sim_to_target"][m][d]
                 cells.append(_MISSING if v is None else f"{v:.2f}")
             lines.append(_row(m, cells, sim_widths))
+    return "\n".join(lines)
+
+
+def format_population_table(table: dict, title: str = "") -> str:
+    """Render the dynamic-population study: one row per population
+    scenario, with a join/leave/return event-count section."""
+    datasets = table["datasets"]
+    scenarios = list(table["cells"].keys())
+    widths = [max(len(s) for s in scenarios + ["Population"])] + [14] * len(datasets)
+    lines = []
+    if title:
+        lines.append(f"{title} — {table['method']}")
+    lines.append(_row("Population", [d.upper() for d in datasets], widths))
+    lines.append("-" * (sum(widths) + 2 * len(widths)))
+    for s in scenarios:
+        cells = []
+        for d in datasets:
+            mean, std = table["cells"][s][d]
+            cells.append(f"{mean:.2f} ±{std:.2f}")
+        lines.append(_row(s, cells, widths))
+    lines.append("")
+    lines.append("Applied membership events (joins/leaves/returns over all seeds)")
+    lines.append(_row("Population", [d.upper() for d in datasets], widths))
+    lines.append("-" * (sum(widths) + 2 * len(widths)))
+    for s in scenarios:
+        cells = []
+        for d in datasets:
+            c = table["events"][s][d]
+            cells.append(f"{c['joins']}/{c['leaves']}/{c['returns']}")
+        lines.append(_row(s, cells, widths))
     return "\n".join(lines)
 
 

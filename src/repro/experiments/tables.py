@@ -24,7 +24,9 @@ __all__ = [
     "table_rounds_to_target",
     "table_comm_cost",
     "table_newcomers",
+    "table_population",
     "DEFAULT_TARGET_FRACTION",
+    "POPULATION_SCENARIOS",
 ]
 
 #: Targets in Tables 4/5 are dataset-specific absolute accuracies tuned to
@@ -162,6 +164,69 @@ def table_comm_cost(
         "cells": cells,
         "comm": comm,
         "sim_to_target": sim_to_target,
+    }
+
+
+#: The dynamic-population study's scenarios (the ``population`` artifact):
+#: the same federation under a fixed roster, seeded churn, and late
+#: joiners entering through each newcomer-assignment rule.  Times are in
+#: population-clock units (one per round under the default ideal
+#: network, :mod:`repro.fl.population`).
+POPULATION_SCENARIOS = {
+    "static": "static",
+    "churn": "churn:session=4,gap=2",
+    "growth/weights": "growth:join_start=1,join_every=1,assign=weights",
+    "growth/random": "growth:join_start=1,join_every=1,assign=random",
+    "growth/coldstart": "growth:join_start=1,join_every=1,assign=coldstart",
+}
+
+
+def table_population(
+    setting: str,
+    scale: ExperimentScale,
+    datasets: list[str] = ("cifar10", "cifar100", "fmnist", "svhn"),
+    method: str = "fedclust",
+    scenarios: dict[str, str] | None = None,
+    seeds: tuple[int, ...] = (0,),
+    config_overrides: dict | None = None,
+) -> dict:
+    """The dynamic-population study: accuracy under churn, growth, ablations.
+
+    Runs ``method`` (FedClust by default) on each dataset under every
+    scenario of :data:`POPULATION_SCENARIOS` — fixed roster, seeded
+    churn, and late joiners assigned by the paper's weight-distance
+    rule vs the ``random``/``coldstart`` ablations — and reports final
+    mean local accuracy plus the applied membership-event counts.  The
+    ``static`` row is bit-for-bit the plain engine, so the delta to
+    every other row is attributable to the population dynamics alone.
+    """
+    scenarios = dict(scenarios or POPULATION_SCENARIOS)
+    cells: dict[str, dict[str, tuple[float, float]]] = {s: {} for s in scenarios}
+    events: dict[str, dict[str, dict[str, int]]] = {s: {} for s in scenarios}
+    for dataset in datasets:
+        for scenario, spec in scenarios.items():
+            runs = [
+                run_cell(
+                    dataset, method, setting, scale, seed=s,
+                    config_overrides=config_overrides,
+                    fl_options={"population": spec},
+                )
+                for s in seeds
+            ]
+            accs = [100.0 * r.final_accuracy for r in runs]
+            cells[scenario][dataset] = mean_std(accs)
+            counts = {"joins": 0, "leaves": 0, "returns": 0}
+            for r in runs:
+                counts["joins"] += len(r.history.population_events("join"))
+                counts["leaves"] += len(r.history.population_events("leave"))
+                counts["returns"] += len(r.history.population_events("return"))
+            events[scenario][dataset] = counts
+    return {
+        "setting": setting,
+        "datasets": list(datasets),
+        "method": method,
+        "cells": cells,
+        "events": events,
     }
 
 

@@ -1,8 +1,9 @@
 """Federated-learning simulation engine: clients, server loop, metering,
 and the simulated wire (codecs + network models).
 
-Pluggable pieces (backends, codecs, networks, schedulers, algorithms)
-are declared once in the component registry (:mod:`repro.fl.registry`).
+Pluggable pieces (backends, codecs, networks, schedulers, populations,
+algorithms) are declared once in the component registry
+(:mod:`repro.fl.registry`).
 """
 
 from repro.fl.registry import (
@@ -46,6 +47,17 @@ from repro.fl.network import (
 )
 from repro.fl.fairness import FairnessReport, fairness_report
 from repro.fl.history import History, RoundRecord
+from repro.fl.population import (
+    KNOWN_POP_KEYS,
+    POPULATIONS,
+    ChurnPopulation,
+    GrowthPopulation,
+    PopulationEvent,
+    PopulationModel,
+    StaticPopulation,
+    TracePopulation,
+    make_population,
+)
 from repro.fl.sampling import sample_clients
 from repro.fl.scheduler import (
     KNOWN_SCHED_KEYS,
@@ -104,6 +116,15 @@ __all__ = [
     "ProcessBackend",
     "BACKENDS",
     "make_backend",
+    "PopulationModel",
+    "PopulationEvent",
+    "StaticPopulation",
+    "ChurnPopulation",
+    "GrowthPopulation",
+    "TracePopulation",
+    "POPULATIONS",
+    "KNOWN_POP_KEYS",
+    "make_population",
     "FairnessReport",
     "fairness_report",
     "History",

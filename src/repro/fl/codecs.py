@@ -157,12 +157,27 @@ class IdentityCodec(Codec):
 
 @register("codec", "fp16")
 class Fp16Codec(Codec):
-    """Deterministic float16 cast (4x smaller than float64)."""
+    """Deterministic float16 cast (4x smaller than float64).
+
+    Entries are clipped to the float16 finite range (±65504) before the
+    cast: a delta entry beyond it would otherwise become ±inf, the
+    decode would propagate it, and a single divergent client would
+    poison the aggregated model with non-finite parameters.  Saturating
+    is what a real fixed-width wire format does; NaN entries (a fully
+    diverged client) encode as zero — that coordinate simply contributes
+    nothing.
+    """
 
     name = "fp16"
 
+    #: largest finite float16 magnitude — the saturation bound
+    _F16_MAX = float(np.finfo(np.float16).max)
+
     def encode(self, client_id, delta, rng) -> Encoded:
-        values = delta.astype(np.float16)
+        values = np.nan_to_num(
+            delta, nan=0.0, posinf=self._F16_MAX, neginf=-self._F16_MAX
+        )
+        values = np.clip(values, -self._F16_MAX, self._F16_MAX).astype(np.float16)
         return Encoded(
             payload={"values": values},
             nbytes=int(values.nbytes) + _HEADER_BYTES,
@@ -182,12 +197,34 @@ class Int8Codec(Codec):
     equal to the fractional part, down otherwise.  The rounding is
     therefore unbiased (``E[decode(encode(d))] = d``) and the absolute
     error of any entry is at most ``scale``.
+
+    A non-finite peak (an inf/NaN delta from a divergent client) would
+    make ``scale`` non-finite and decode to an all-NaN vector; such an
+    upload is **zero-encoded** instead — it crosses the wire but
+    contributes nothing — and the client id is recorded in
+    :attr:`nonfinite_clients` when the transfer is delivered.
     """
 
     name = "int8"
 
+    def __init__(self):
+        #: client ids whose delivered uploads were zero-encoded because
+        #: their delta had a non-finite peak (appended at commit time,
+        #: so deadline-cut uploads never record)
+        self.nonfinite_clients: list[int] = []
+
     def encode(self, client_id, delta, rng) -> Encoded:
         peak = float(np.max(np.abs(delta))) if delta.size else 0.0
+        if not math.isfinite(peak):
+            return Encoded(
+                payload={
+                    "q": np.zeros(delta.shape, dtype=np.int8),
+                    "scale": np.float64(0.0),
+                    "nonfinite": True,
+                },
+                nbytes=int(delta.size) + 8 + _HEADER_BYTES,
+                logical_nbytes=int(delta.nbytes),
+            )
         scale = peak / 127.0
         if scale == 0.0:
             q = np.zeros(delta.shape, dtype=np.int8)
@@ -204,6 +241,13 @@ class Int8Codec(Codec):
 
     def decode(self, encoded: Encoded) -> np.ndarray:
         return encoded.payload["q"].astype(np.float64) * float(encoded.payload["scale"])
+
+    def commit(self, client_id: int, encoded: Encoded) -> None:
+        if encoded.payload.get("nonfinite"):
+            self.nonfinite_clients.append(int(client_id))
+
+    def reset(self) -> None:
+        self.nonfinite_clients.clear()
 
 
 @register("codec", "topk", options=[

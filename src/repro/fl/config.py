@@ -85,6 +85,14 @@ class FLConfig:
     #: over-selects (it aggregates the first nominal-cohort arrivals and
     #: cancels the rest)
     over_select_frac: float = 0.25
+    #: client-population model (:mod:`repro.fl.population`): ``"static"``
+    #: (the seed behaviour — the round-0 roster never changes),
+    #: ``"churn"`` (seeded per-client up/down sessions), ``"growth"``
+    #: (held-out clients join at configured sim-times through the
+    #: newcomer-assignment path), ``"trace"`` (explicit event list),
+    #: ``"auto"`` (resolve from ``REPRO_POPULATION``, defaulting to
+    #: static), or an inline spec (``"churn:session=20,gap=5"``)
+    population: str = "auto"
     #: algorithm-specific knobs (e.g. FedProx mu, IFCA k, FedClust lambda)
     #: plus prefix-namespaced component knobs (``net_*``, ``sched_*``),
     #: validated against the registry's declared option names

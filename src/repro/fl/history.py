@@ -48,7 +48,13 @@ class RoundRecord:
             ``"cancelled"`` (ids semisync cancelled after its quorum
             filled) and ``"events"`` (one dict per delivered upload:
             ``client``, arrival virtual time ``t``, ``staleness`` in
-            flushes, and the ``flush`` index that merged it).
+            flushes, and the ``flush`` index that merged it).  Dynamic
+            populations (:mod:`repro.fl.population`) store
+            ``"population"`` — one dict per applied membership event:
+            virtual time ``t``, ``kind`` (``join``/``leave``/``return``),
+            ``client``, plus ``cluster`` for joins through a clustered
+            algorithm and ``suppressed`` for a leave deferred because it
+            would have emptied the federation.
     """
 
     round: int
@@ -140,6 +146,24 @@ class History:
         out: list[int] = []
         for r in self.records:
             out.extend(r.extras.get("deadline_dropped", ()))
+        return out
+
+    def population_events(self, kind: str | None = None) -> list[dict]:
+        """Every applied population event, in record order.
+
+        Args:
+            kind: restrict to one event kind (``"join"`` / ``"leave"``
+                / ``"return"``); ``None`` returns all.
+
+        Returns:
+            The event dicts dynamic populations stored in
+            ``extras["population"]`` (empty for a static run).
+        """
+        out: list[dict] = []
+        for r in self.records:
+            for event in r.extras.get("population", ()):
+                if kind is None or event.get("kind") == kind:
+                    out.append(event)
         return out
 
     def total_seconds(self, include_setup: bool = True) -> float:

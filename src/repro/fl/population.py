@@ -1,0 +1,477 @@
+"""Dynamic client populations: churn, growth, and newcomer onboarding.
+
+The seed engine simulates a *fixed* population: whoever exists at round 0
+is the federation forever.  Real federations are dynamic — clients go
+offline for hours, come back, and brand-new clients join long after the
+initial clustering.  The paper's headline practical claim (Alg. 2) is
+that weight-driven clustering absorbs such *newcomers* cheaply: assign a
+joiner to an existing cluster from its weights instead of re-clustering
+the world.  This module makes the population itself a pluggable
+component family, exercised by every scheduler.
+
+A :class:`PopulationModel` owns two things:
+
+* the **initial roster** (who is eligible for selection at round 1), and
+* a deterministic, seeded stream of :class:`PopulationEvent`\\ s —
+  ``leave`` / ``return`` / ``join`` — on the scheduler's virtual clock.
+
+Schedulers (:mod:`repro.fl.scheduler`) drain due events at each round
+(sync/semisync) or dispatch cycle (buffered) boundary and apply them to
+the running federation: leaves remove clients from selection
+*eligibility* without touching their per-cluster state (so a returning
+client resumes where it left off), and joins flow through the paper's
+newcomer path — the joiner briefly trains θ⁰, uploads partial weights,
+and is assigned to the nearest cluster centroid
+(:meth:`repro.core.fedclust.FedClust.assign_newcomer`), with ``random``
+and ``coldstart`` ablation knobs.  Applied events land in
+``RoundRecord.extras["population"]``.
+
+Population models
+-----------------
+
+``static``
+    The seed behaviour: the round-0 roster never changes.  The engine
+    short-circuits every population hook, so the default configuration
+    stays bit-for-bit the seed engine.
+
+``churn``
+    Seeded per-client up/down sessions: each churning client
+    (``pop_churn_frac`` of the federation) alternates exponentially
+    distributed on-times (mean ``pop_session``) and off-times (mean
+    ``pop_gap``).  Optional late joiners via ``pop_joiners``.
+
+``growth``
+    Holds out the last ``pop_joiners`` clients (their shards were
+    already materialised by the partitioner; see
+    :meth:`repro.data.federated.FederatedDataset.detach_joiners`) and
+    joins them one by one at ``pop_join_start + i * pop_join_every``.
+
+``trace``
+    Replays an explicit ``pop_trace`` event list
+    (``"time:kind:client;..."``), for scripted scenarios and tests.
+
+Virtual time
+------------
+
+Event times are in the scheduler's simulated seconds.  When nothing is
+being simulated (the ideal network with no deadline) every scheduler
+falls back to counting **one second per round** (per flush, for
+``buffered``), so population scenarios remain expressible — and mean
+the same thing across schedulers — in the default configuration.
+
+Determinism
+-----------
+
+Every draw comes from a client-keyed child of the run's root seed
+(``rngs.make("population.churn", client_id)``), consumed in a fixed
+per-client order, so the event stream is reproducible regardless of
+scheduler or execution backend.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.fl import registry
+from repro.fl.registry import opt, register
+from repro.utils.rng import RngFactory
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.data.federated import ClientData
+    from repro.fl.server import FederatedAlgorithm
+
+__all__ = [
+    "PopulationEvent",
+    "PopulationModel",
+    "StaticPopulation",
+    "ChurnPopulation",
+    "GrowthPopulation",
+    "TracePopulation",
+    "POPULATIONS",
+    "KNOWN_POP_KEYS",
+    "make_population",
+]
+
+#: implementations whose joins/assignment knobs make sense
+_JOINING = ("churn", "growth", "trace")
+
+#: ``FLConfig.extra`` knobs shared across population models, declared
+#: once for the family (prefix ``pop_``; unknown ``pop_*`` keys are
+#: rejected by ``FLConfig`` validation).
+registry.family_options("population", [
+    opt("pop_assign", str, "weights",
+        choices=("weights", "random", "coldstart"),
+        env="REPRO_POP_ASSIGN", alias="assign", only_for=_JOINING,
+        help="newcomer cluster assignment: `weights` = the paper's "
+             "Alg. 2 nearest-centroid rule from a brief θ⁰ probe, "
+             "`random` = seeded uniform cluster draw, `coldstart` = "
+             "largest existing cluster, no probe"),
+    opt("pop_probe_epochs", int, None, optional=True, low=0,
+        env="REPRO_POP_PROBE_EPOCHS", alias="probe_epochs",
+        only_for=_JOINING,
+        help="local epochs of the joiner's θ⁰ probe before weight "
+             "assignment (default: the algorithm's warm-up epochs)"),
+    opt("pop_joiners", int, 0, low=0,
+        env="REPRO_POP_JOINERS", alias="joiners", only_for=("churn", "growth"),
+        help="clients held out of the initial federation to join later "
+             "(for `growth`, 0 means one fifth of the federation)"),
+    opt("pop_join_start", float, 2.0, low=0.0,
+        env="REPRO_POP_JOIN_START", alias="join_start",
+        only_for=("churn", "growth"),
+        help="virtual time of the first join"),
+    opt("pop_join_every", float, 2.0, low=0.0, low_inclusive=False,
+        env="REPRO_POP_JOIN_EVERY", alias="join_every",
+        only_for=("churn", "growth"),
+        help="virtual seconds between consecutive joins"),
+])
+
+
+@dataclass(frozen=True)
+class PopulationEvent:
+    """One membership change on the virtual clock.
+
+    Attributes:
+        time: virtual time the event fires at.
+        kind: ``"leave"`` (drop from eligibility), ``"return"``
+            (restore eligibility), or ``"join"`` (a brand-new client
+            enters through the newcomer path).
+        client: the client id the event concerns.
+    """
+
+    time: float
+    kind: str
+    client: int
+
+
+class PopulationModel:
+    """Base class: who is in the federation, and when that changes.
+
+    One instance serves one run.  ``begin`` runs once, after the
+    algorithm is constructed but *before* round-0 ``setup`` — a joining
+    model detaches its joiner pool there, so the one-shot clustering
+    only ever sees the initial roster.
+    """
+
+    #: registry name; subclasses set this
+    name: str = "base"
+    #: False → the engine skips every population hook (the static model)
+    dynamic: bool = True
+
+    def __init__(self, num_clients: int, rngs: RngFactory, extra: dict | None = None):
+        self.num_clients = int(num_clients)
+        self.rngs = rngs
+        extra = extra or {}
+        #: newcomer-assignment rule (``weights`` / ``random`` / ``coldstart``)
+        self.assign = str(extra.get("pop_assign", "weights")).strip().lower()
+        if self.assign not in ("weights", "random", "coldstart"):
+            raise ValueError(
+                f"pop_assign must be 'weights'/'random'/'coldstart', "
+                f"got {self.assign!r}"
+            )
+        probe = extra.get("pop_probe_epochs")
+        #: θ⁰-probe epochs for weight assignment (None → algorithm default)
+        self.probe_epochs = int(probe) if probe is not None else None
+        self.join_start = float(extra.get("pop_join_start", 2.0))
+        self.join_every = float(extra.get("pop_join_every", 2.0))
+        if self.join_every <= 0:
+            raise ValueError(
+                f"pop_join_every must be positive, got {self.join_every}"
+            )
+        #: (time, seq, event) min-heap of pending events
+        self._heap: list[tuple[float, int, PopulationEvent]] = []
+        self._seq = 0
+        #: detached joiner shards, by client id
+        self._pool: dict[int, "ClientData"] = {}
+
+    # ------------------------------------------------------------------
+    def joiner_count(self) -> int:
+        """How many clients this model holds out as late joiners."""
+        return 0
+
+    def begin(self, algo: "FederatedAlgorithm") -> None:
+        """Bind to a run: detach the joiner pool, seed the event heap."""
+        k = self.joiner_count()
+        if k:
+            if k >= self.num_clients:
+                raise ValueError(
+                    f"pop_joiners must leave at least one initial client, "
+                    f"got {k} of {self.num_clients}"
+                )
+            for client in algo.fed.detach_joiners(k):
+                self._pool[int(client.client_id)] = client
+            for i, cid in enumerate(sorted(self._pool)):
+                self._push(
+                    self.join_start + i * self.join_every, "join", cid
+                )
+
+    def initial_roster(self) -> np.ndarray:
+        """Sorted client ids eligible at round 1 (after ``begin``)."""
+        return np.arange(self.num_clients - len(self._pool), dtype=np.int64)
+
+    def events_until(self, now: float) -> list[PopulationEvent]:
+        """Drain every pending event with ``time <= now``, in time order."""
+        due: list[PopulationEvent] = []
+        while self._heap and self._heap[0][0] <= now:
+            _, _, event = heapq.heappop(self._heap)
+            due.append(event)
+            self._on_emit(event)
+        return due
+
+    def take_joiner(self, client_id: int) -> "ClientData":
+        """Hand over a pool client's shard (exactly once, at its join)."""
+        try:
+            return self._pool.pop(int(client_id))
+        except KeyError:
+            raise KeyError(
+                f"client {client_id} is not in the joiner pool "
+                f"(remaining: {sorted(self._pool)})"
+            ) from None
+
+    # ------------------------------------------------------------------
+    def _push(self, time: float, kind: str, client: int) -> None:
+        event = PopulationEvent(float(time), kind, int(client))
+        heapq.heappush(self._heap, (event.time, self._seq, event))
+        self._seq += 1
+
+    def _on_emit(self, event: PopulationEvent) -> None:
+        """Hook: schedule an emitted event's follow-up (churn toggling)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(clients={self.num_clients})"
+
+
+@register("population", "static")
+class StaticPopulation(PopulationModel):
+    """The seed behaviour: the round-0 roster is the federation forever."""
+
+    name = "static"
+    dynamic = False
+
+    def begin(self, algo: "FederatedAlgorithm") -> None:  # no pool, no events
+        return
+
+
+@register("population", "churn", options=[
+    opt("pop_session", float, 20.0,
+        low=0.0, low_inclusive=False,
+        env="REPRO_POP_SESSION", alias="session", only_for=("churn",),
+        help="mean virtual seconds a churning client stays reachable "
+             "before leaving (exponential sessions)"),
+    opt("pop_gap", float, 5.0,
+        low=0.0, low_inclusive=False,
+        env="REPRO_POP_GAP", alias="gap", only_for=("churn",),
+        help="mean virtual seconds a departed client stays away before "
+             "returning (exponential gaps)"),
+    opt("pop_churn_frac", float, 1.0,
+        low=0.0, high=1.0, low_inclusive=False,
+        env="REPRO_POP_CHURN_FRAC", alias="churn_frac", only_for=("churn",),
+        help="fraction of clients subject to churn (the rest never leave)"),
+])
+class ChurnPopulation(PopulationModel):
+    """Seeded per-client up/down sessions, plus optional late joiners.
+
+    Each churning client alternates exponentially distributed on-times
+    (mean ``pop_session``) and off-times (mean ``pop_gap``), drawn
+    lazily from its own client-keyed generator — a client's timeline
+    never depends on any other client's.  Departed clients keep their
+    cluster membership and per-client state, so a ``return`` resumes
+    training exactly where the client left off.  ``pop_joiners > 0``
+    additionally holds out that many clients to join late through the
+    newcomer path, like ``growth``.
+    """
+
+    name = "churn"
+
+    def __init__(self, num_clients, rngs, extra=None):
+        super().__init__(num_clients, rngs, extra)
+        extra = extra or {}
+        self.session = float(extra.get("pop_session", 20.0))
+        self.gap = float(extra.get("pop_gap", 5.0))
+        self.churn_frac = float(extra.get("pop_churn_frac", 1.0))
+        self.joiners = int(extra.get("pop_joiners", 0))
+        if self.session <= 0 or self.gap <= 0:
+            raise ValueError(
+                f"pop_session and pop_gap must be positive, got "
+                f"{self.session}/{self.gap}"
+            )
+        if not 0.0 < self.churn_frac <= 1.0:
+            raise ValueError(
+                f"pop_churn_frac must be in (0, 1], got {self.churn_frac}"
+            )
+        self._client_rng: dict[int, np.random.Generator] = {}
+
+    def joiner_count(self) -> int:
+        return self.joiners
+
+    def begin(self, algo: "FederatedAlgorithm") -> None:
+        super().begin(algo)
+        for cid in range(self.num_clients - len(self._pool)):
+            rng = self.rngs.make("population.churn", cid)
+            self._client_rng[cid] = rng
+            if rng.random() < self.churn_frac:
+                self._push(rng.exponential(self.session), "leave", cid)
+
+    def _on_emit(self, event: PopulationEvent) -> None:
+        if event.kind == "join":
+            # a late joiner churns too, from its own keyed stream
+            rng = self.rngs.make("population.churn", event.client)
+            self._client_rng[event.client] = rng
+            if rng.random() < self.churn_frac:
+                self._push(
+                    event.time + rng.exponential(self.session),
+                    "leave", event.client,
+                )
+            return
+        rng = self._client_rng[event.client]
+        if event.kind == "leave":
+            self._push(event.time + rng.exponential(self.gap), "return", event.client)
+        else:  # return → next session
+            self._push(event.time + rng.exponential(self.session), "leave", event.client)
+
+
+@register("population", "growth")
+class GrowthPopulation(PopulationModel):
+    """New clients with freshly partitioned shards arrive over time.
+
+    The last ``pop_joiners`` clients of the federation (default: one
+    fifth, minimum one) are held out of the initial roster — their
+    shards exist (the partitioner materialised them) but the server has
+    never seen them, exactly the paper's Table-6 protocol.  Joiner ``i``
+    arrives at ``pop_join_start + i * pop_join_every`` and enters
+    through the newcomer-assignment path (``pop_assign``).
+    """
+
+    name = "growth"
+
+    def __init__(self, num_clients, rngs, extra=None):
+        super().__init__(num_clients, rngs, extra)
+        extra = extra or {}
+        joiners = int(extra.get("pop_joiners", 0))
+        if joiners == 0:
+            joiners = max(1, int(round(0.2 * self.num_clients)))
+        self.joiners = joiners
+
+    def joiner_count(self) -> int:
+        return self.joiners
+
+
+@register("population", "trace", options=[
+    opt("pop_trace", str, "",
+        env="REPRO_POP_TRACE", alias="trace", only_for=("trace",),
+        help="explicit event list `time:kind:client;...` with kind in "
+             "join/leave/return (join clients must form the id tail)"),
+])
+class TracePopulation(PopulationModel):
+    """Replays an explicit event list (scripted scenarios, tests).
+
+    ``pop_trace`` is ``"time:kind:client"`` triples joined by ``";"``,
+    e.g. ``"1:leave:0;3:return:0;2:join:5"``.  Clients named by a
+    ``join`` event are held out of the initial roster and must form the
+    contiguous tail of the id space (the joiner pool).
+    """
+
+    name = "trace"
+
+    def __init__(self, num_clients, rngs, extra=None):
+        super().__init__(num_clients, rngs, extra)
+        extra = extra or {}
+        raw = str(extra.get("pop_trace", "")).strip()
+        self.events: list[PopulationEvent] = []
+        if raw:
+            for part in raw.split(";"):
+                part = part.strip()
+                if not part:
+                    continue
+                fields = part.split(":")
+                if len(fields) != 3:
+                    raise ValueError(
+                        f"invalid pop_trace entry {part!r}: expected "
+                        "'time:kind:client'"
+                    )
+                t, kind, cid = fields
+                kind = kind.strip().lower()
+                if kind not in ("join", "leave", "return"):
+                    raise ValueError(
+                        f"pop_trace kind must be join/leave/return, got {kind!r}"
+                    )
+                self.events.append(PopulationEvent(float(t), kind, int(cid)))
+        self.events.sort(key=lambda e: e.time)
+        join_order = [e.client for e in self.events if e.kind == "join"]
+        join_ids = sorted(set(join_order))
+        expected = list(range(self.num_clients - len(join_ids), self.num_clients))
+        if join_ids and join_ids != expected:
+            raise ValueError(
+                f"pop_trace join clients must be the id tail {expected}, "
+                f"got {join_ids}"
+            )
+        if join_order != join_ids:
+            # joins must fire in id order so roster ids stay contiguous
+            raise ValueError(
+                f"pop_trace joins must occur in ascending id order, "
+                f"got {join_order}"
+            )
+        self._join_ids = join_ids
+
+    def joiner_count(self) -> int:
+        return len(self._join_ids)
+
+    def begin(self, algo: "FederatedAlgorithm") -> None:
+        k = self.joiner_count()
+        if k:
+            if k >= self.num_clients:
+                raise ValueError(
+                    "pop_trace must leave at least one initial client"
+                )
+            for client in algo.fed.detach_joiners(k):
+                self._pool[int(client.client_id)] = client
+        for event in sorted(self.events, key=lambda e: e.time):
+            self._push(event.time, event.kind, event.client)
+
+
+#: name → class, derived from the component registry (kept for
+#: introspection/back-compat; the registry is the source of truth)
+POPULATIONS = registry.classes("population")
+
+#: the registry-derived ``pop_`` key set (``FLConfig.extra`` validation)
+KNOWN_POP_KEYS = registry.known_prefix_keys("population")
+
+
+def make_population(
+    config=None,
+    num_clients: int = 0,
+    rngs: RngFactory | None = None,
+    population: str | None = None,
+) -> PopulationModel:
+    """Build the client-population model for one federation run.
+
+    Args:
+        config: an :class:`~repro.fl.config.FLConfig` supplying the
+            ``population`` knob and ``extra`` profile parameters
+            (optional).
+        num_clients: total federation size, *including* any clients a
+            joining profile will hold out.
+        rngs: the run's :class:`~repro.utils.rng.RngFactory` (a fresh
+            seed-0 factory when omitted, for standalone use in tests).
+        population: explicit model spec overriding the config — a
+            registered name, ``"auto"``, or an inline spec like
+            ``"churn:session=20,gap=5"``.
+
+    Resolution is the registry's (:func:`repro.fl.registry.resolve`):
+    ``"auto"`` reads ``REPRO_POPULATION`` (default ``static``), and
+    ``pop_*`` knobs may come from ``FLConfig.extra``, ``REPRO_POP_*``
+    env vars, or inline assignments.
+
+    Returns:
+        A fresh :class:`PopulationModel` bound to the run's seed.
+    """
+    r = registry.resolve("population", spec=population, config=config)
+    if rngs is None:
+        rngs = RngFactory(0)
+    extra = getattr(config, "extra", None) if config is not None else None
+    if r.provided_extra:
+        extra = {**(extra or {}), **r.provided_extra}
+    return r.impl.cls(num_clients, rngs, extra)

@@ -273,6 +273,23 @@ _declare(
     example="buffered:bs=8,sa=0.5",
 )
 _declare(
+    name="population",
+    label="population model",
+    field="population",
+    env="REPRO_POPULATION",
+    default="static",
+    prefix="pop_",
+    module="repro.fl.population",
+    doc=(
+        "who is *in* the federation over virtual time: `static` fixes the "
+        "round-0 roster (the seed behaviour); `churn` gives clients seeded "
+        "up/down sessions; `growth` holds out late joiners that arrive at "
+        "configured sim-times and enter through the paper's newcomer "
+        "assignment; `trace` replays an explicit event list"
+    ),
+    example="churn:session=20,gap=5",
+)
+_declare(
     name="algorithm",
     label="algorithm",
     field=None,

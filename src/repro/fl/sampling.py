@@ -1,4 +1,13 @@
-"""Client sampling (Alg. 1 line 9: ``n = max(R * N, 1)`` random clients)."""
+"""Client sampling (Alg. 1 line 9: ``n = max(round(R * N), 1)`` clients).
+
+The paper states the cohort size as ``max(R * N, 1)`` without fixing how
+a fractional ``R * N`` rounds.  This engine uses Python's built-in
+``round`` — **banker's rounding**, half-to-even — so exact ``.5`` ties
+round to the even cohort: ``N=10, R=0.25`` selects **2** clients, not 3.
+That behaviour is deliberate and pinned by the golden captures
+(``tests/data/golden_registry.json``); changing it would silently shift
+every seeded run.
+"""
 
 from __future__ import annotations
 
@@ -8,25 +17,47 @@ __all__ = ["sample_clients"]
 
 
 def sample_clients(
-    num_clients: int, sample_rate: float, rng: np.random.Generator
+    num_clients: int,
+    sample_rate: float,
+    rng: np.random.Generator,
+    eligible: np.ndarray | None = None,
 ) -> np.ndarray:
     """Uniformly sample ``max(round(rate * N), 1)`` distinct client ids.
 
+    ``round`` is Python's half-to-even rounding (see the module
+    docstring): exact ``.5`` cohorts round to the nearest even size.
+
     Args:
-        num_clients: federation size ``N`` (positive).
+        num_clients: population size ``N`` (positive) — the number of
+            *selectable* clients, i.e. ``len(eligible)`` when an
+            eligibility set is passed.
         sample_rate: per-round participation rate ``R`` in ``(0, 1]``.
         rng: generator keyed by the round (so rounds are independent and
             reproducible regardless of execution backend).
+        eligible: optional sorted array of the selectable ids (dynamic
+            populations, :mod:`repro.fl.population`); ``None`` selects
+            from ``0..N-1``.  The index draw is identical either way, so
+            a full eligibility set reproduces the seed sampling
+            bit-for-bit.
 
     Returns:
         Sorted, duplicate-free client ids for the round.
 
     Raises:
-        ValueError: on a non-positive ``num_clients`` or out-of-range rate.
+        ValueError: on a non-positive ``num_clients``, out-of-range
+            rate, or an ``eligible`` array whose length is not
+            ``num_clients``.
     """
     if num_clients <= 0:
         raise ValueError(f"num_clients must be positive, got {num_clients}")
     if not 0.0 < sample_rate <= 1.0:
         raise ValueError(f"sample_rate must be in (0, 1], got {sample_rate}")
     n = max(int(round(sample_rate * num_clients)), 1)
-    return np.sort(rng.choice(num_clients, size=n, replace=False))
+    if eligible is None:
+        return np.sort(rng.choice(num_clients, size=n, replace=False))
+    eligible = np.asarray(eligible, dtype=np.int64)
+    if eligible.size != num_clients:
+        raise ValueError(
+            f"eligible has {eligible.size} ids but num_clients is {num_clients}"
+        )
+    return np.sort(eligible[rng.choice(eligible.size, size=n, replace=False)])

@@ -105,7 +105,12 @@ KNOWN_SCHED_KEYS: frozenset[str]
 
 
 def nominal_cohort(num_clients: int, sample_rate: float) -> int:
-    """Cohort size the sync engine selects per round (Alg. 1 line 9)."""
+    """Cohort size the sync engine selects per round (Alg. 1 line 9).
+
+    Uses Python's half-to-even ``round`` — the same deliberate banker's
+    rounding as :func:`repro.fl.sampling.sample_clients` (see its module
+    docstring), so scheduler quorums and cohorts always agree.
+    """
     return max(int(round(sample_rate * num_clients)), 1)
 
 
@@ -147,6 +152,7 @@ class _Spans(object):
         self.unavailable: list[int] = []
         self.cancelled: list[int] = []
         self.events: list[dict] = []
+        self.pop_events: list[dict] = []
 
     def flush_record(self, round_idx: int, delivered: list["ClientUpdate"]) -> None:
         """Evaluate and append one :class:`RoundRecord`, then reset spans."""
@@ -164,6 +170,8 @@ class _Spans(object):
             extras["cancelled"] = list(self.cancelled)
         if self.events:
             extras["events"] = list(self.events)
+        if self.pop_events:
+            extras["population"] = list(self.pop_events)
         now = time.perf_counter()
         algo.history.append(
             RoundRecord(
@@ -185,6 +193,7 @@ class _Spans(object):
         self.unavailable = []
         self.cancelled = []
         self.events = []
+        self.pop_events = []
 
 
 class Scheduler(ABC):
@@ -241,6 +250,36 @@ class Scheduler(ABC):
         #: is active (the seed behaviour); event-driven schedulers always
         #: run the virtual clock
         self.simulate = (not self.ideal) or self.deadline is not None
+        #: whether the run's population can change (non-static model);
+        #: False short-circuits every population hook
+        self.dynamic_population = (
+            algo.population is not None and algo.population.dynamic
+        )
+        #: the population clock: the scheduler's virtual time, except for
+        #: a sync run that simulates nothing (ideal network, no deadline)
+        #: which counts one second per round so population scenarios stay
+        #: expressible under the default configuration
+        self.pop_now = 0.0
+
+    def advance_population(
+        self, algo: "FederatedAlgorithm", spans: _Spans, key_idx: int, now: float
+    ) -> None:
+        """Apply every population event due by virtual time ``now``.
+
+        Runs on the main thread at a round (or dispatch-cycle) boundary:
+        drains the population model's due events in time order, applies
+        each to the federation (:meth:`FederatedAlgorithm.apply_population_event
+        <repro.fl.server.FederatedAlgorithm.apply_population_event>` —
+        eligibility changes, joiner attachment and cluster assignment),
+        and records the applied events for
+        ``RoundRecord.extras["population"]``.
+        """
+        if not self.dynamic_population:
+            return
+        for event in algo.population.events_until(now):
+            rec = algo.apply_population_event(event, key_idx)
+            if rec is not None:
+                spans.pop_events.append(rec)
 
     def wire_down(
         self, algo: "FederatedAlgorithm", round_idx: int, selected: np.ndarray
@@ -365,6 +404,7 @@ class SyncScheduler(Scheduler):
         self.begin(algo)
         spans = _Spans(algo)
         for round_idx in range(1, cfg.rounds + 1):
+            self.advance_population(algo, spans, round_idx, self.pop_now)
             selected = algo.select_clients(round_idx)
             survivors, down_nbytes, unavailable = self.wire_down(
                 algo, round_idx, selected
@@ -390,7 +430,11 @@ class SyncScheduler(Scheduler):
                 round_sim = self.deadline  # the server waits out the budget
             spans.sim += round_sim
             spans.dropped.extend(cut)
-            algo.aggregate(round_idx, delivered)
+            if delivered:
+                # an all-cut (or all-unavailable) round changes nothing
+                # server-side; the record below still commits
+                algo.aggregate(round_idx, delivered)
+            self.pop_now += round_sim if self.simulate else 1.0
             if round_idx % cfg.eval_every == 0 or round_idx == cfg.rounds:
                 spans.flush_record(round_idx, delivered)
 
@@ -430,6 +474,10 @@ class SemiSyncScheduler(Scheduler):
         quorum = nominal_cohort(algo.fed.num_clients, cfg.sample_rate)
         rate = min(1.0, cfg.sample_rate * (1.0 + self.over_select_frac))
         for round_idx in range(1, cfg.rounds + 1):
+            self.advance_population(algo, spans, round_idx, self.pop_now)
+            if self.dynamic_population:
+                # quorum tracks the eligible population as it churns
+                quorum = nominal_cohort(int(algo.roster().size), cfg.sample_rate)
             selected = algo.select_clients(round_idx, sample_rate=rate)
             survivors, down_nbytes, unavailable = self.wire_down(
                 algo, round_idx, selected
@@ -473,7 +521,11 @@ class SemiSyncScheduler(Scheduler):
                 )
             spans.sim += round_sim
             spans.dropped.extend(cut)
-            algo.aggregate(round_idx, delivered)
+            if delivered:
+                # an all-cut round changes nothing server-side; the
+                # record below still commits
+                algo.aggregate(round_idx, delivered)
+            self.pop_now += round_sim if self.simulate else 1.0
             if round_idx % cfg.eval_every == 0 or round_idx == cfg.rounds:
                 spans.flush_record(round_idx, delivered)
 
@@ -547,6 +599,11 @@ class BufferedScheduler(Scheduler):
 
         def dispatch(t: float) -> None:
             """Fill every free slot with a fresh client at virtual time t."""
+            # population clock: virtual time when anything is simulated,
+            # else one second per completed flush (mirrors sync's
+            # one-second-per-round fallback)
+            self.pop_now = t if self.simulate else float(version)
+            self.advance_population(algo, spans, state["cycle"] + 1, self.pop_now)
             free = concurrency - len(running)
             if free <= 0:
                 return
@@ -588,7 +645,10 @@ class BufferedScheduler(Scheduler):
             buffer.sort(key=lambda b: b[0])
             merged = [b[4] for b in buffer]
             staleness = [version - 1 - b[2] for b in buffer]
-            algo.merge(version, merged, staleness)
+            if merged:
+                # an empty flush (cohort entirely dropped out) changes
+                # nothing server-side but still advances the federation
+                algo.merge(version, merged, staleness)
             for (seq, cycle, v_dispatch, t_arr, u), s in zip(buffer, staleness):
                 spans.events.append(
                     {

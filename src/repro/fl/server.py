@@ -58,10 +58,12 @@ from repro.fl.config import FLConfig
 from repro.fl.execution import (
     ClientSlots,
     ExecutionBackend,
+    ProcessBackend,
     SerialBackend,
     make_backend,
 )
 from repro.fl.network import NetworkModel, make_network
+from repro.fl.population import PopulationEvent, PopulationModel, make_population
 from repro.fl.history import History
 from repro.fl.sampling import sample_clients
 from repro.fl.scheduler import Scheduler, make_scheduler
@@ -207,6 +209,14 @@ class FederatedAlgorithm(ABC):
         #: control-loop scheduler (:mod:`repro.fl.scheduler`), built by
         #: ``run`` from the config
         self.scheduler: Scheduler | None = None
+        #: client-population model (:mod:`repro.fl.population`), built by
+        #: ``run`` from the config
+        self.population: PopulationModel | None = None
+        #: ids currently eligible for selection; ``None`` means "everyone"
+        #: (the static population's fast path — bit-for-bit the seed
+        #: sampling).  Dynamic populations mutate this set through
+        #: :meth:`apply_population_event`.
+        self._eligible: set[int] | None = None
         self._ran = False
 
     @property
@@ -430,11 +440,15 @@ class FederatedAlgorithm(ABC):
     def run(self) -> History:
         """Execute the federation and return its history.
 
-        ``run`` builds the run's backend, wire layer, and control-loop
-        scheduler — each resolved through the component registry
-        (:mod:`repro.fl.registry`) from the config, the ``REPRO_*``
-        environment, or inline spec strings — executes round-0 ``setup``,
-        and hands rounds 1..T to the scheduler.  The default ``sync``
+        ``run`` builds the run's population model, backend, wire layer,
+        and control-loop scheduler — each resolved through the component
+        registry (:mod:`repro.fl.registry`) from the config, the
+        ``REPRO_*`` environment, or inline spec strings — executes
+        round-0 ``setup`` (over the population's initial roster; a
+        joining model holds its pool out of the one-shot clustering),
+        and hands rounds 1..T to the scheduler, which interleaves the
+        population's join/leave/return events with arrivals on the
+        virtual clock (:mod:`repro.fl.population`).  The default ``sync``
         scheduler is the seed round loop: sample clients, drop the
         unavailable (network model), meter downloads, draw dropouts,
         execute the surviving clients' updates on the configured backend,
@@ -446,8 +460,9 @@ class FederatedAlgorithm(ABC):
         event queue.
 
         With ``scheduler="sync"``, ``codec="none"``, ``network="ideal"``,
-        and no deadline (the defaults) every wire-layer branch is skipped
-        and the loop is bit-for-bit the seed behaviour.
+        ``population="static"``, and no deadline (the defaults) every
+        wire-layer and population branch is skipped and the loop is
+        bit-for-bit the seed behaviour.
 
         Returns:
             The populated :class:`~repro.fl.history.History` (also available
@@ -460,7 +475,25 @@ class FederatedAlgorithm(ABC):
             raise RuntimeError("run() may only be called once per instance")
         self._ran = True
         cfg = self.config
+        # The population binds first: a joining model detaches its pool
+        # here, so round-0 setup and the network/backend below only ever
+        # see the initial roster (total size is passed for id-keyed
+        # draws; joiner links draw lazily on arrival).
+        self.population = make_population(cfg, self.fed.num_clients, self.rngs)
+        if self.population.dynamic:
+            self.population.begin(self)
+            self._eligible = {int(c) for c in self.population.initial_roster()}
         self._backend = make_backend(cfg)
+        if self.population.dynamic and self.population.joiner_count() and isinstance(
+            self._backend, ProcessBackend
+        ):
+            self._backend.close()
+            self._backend = None
+            raise RuntimeError(
+                "population joins need a shared-memory backend "
+                "(serial/thread): process workers fork the dataset before "
+                "any joiner attaches"
+            )
         self.codec = make_codec(cfg)
         self.network = make_network(cfg, self.fed.num_clients, self.rngs)
         self.scheduler = make_scheduler(cfg)
@@ -497,17 +530,86 @@ class FederatedAlgorithm(ABC):
     ) -> np.ndarray:
         """Sampled client ids for one round (sorted, without replacement).
 
+        Under a dynamic population (:mod:`repro.fl.population`) the draw
+        is over the currently *eligible* ids and the cohort size scales
+        with the eligible count, so churn shrinks cohorts
+        proportionally; with the default static population this is
+        bit-for-bit the seed sampling.
+
         Args:
             round_idx: round (or dispatch-cycle) index keying the draw.
             sample_rate: participation-rate override — the ``semisync``
                 scheduler passes its over-selected rate; defaults to
                 ``config.sample_rate``.
         """
-        return sample_clients(
-            self.fed.num_clients,
-            self.config.sample_rate if sample_rate is None else sample_rate,
-            self.rngs.make("sampling", round_idx),
-        )
+        rate = self.config.sample_rate if sample_rate is None else sample_rate
+        rng = self.rngs.make("sampling", round_idx)
+        if self._eligible is None:
+            return sample_clients(self.fed.num_clients, rate, rng)
+        eligible = self.roster()
+        return sample_clients(eligible.size, rate, rng, eligible=eligible)
+
+    # ------------------------------------------------------------------
+    # dynamic populations (:mod:`repro.fl.population`)
+    # ------------------------------------------------------------------
+    def roster(self) -> np.ndarray:
+        """Sorted ids currently eligible for selection."""
+        if self._eligible is None:
+            return np.arange(self.fed.num_clients, dtype=np.int64)
+        return np.fromiter(sorted(self._eligible), dtype=np.int64,
+                           count=len(self._eligible))
+
+    def on_join(self, client_id: int, key_idx: int) -> dict:
+        """Algorithm-specific work for a mid-run join (population event).
+
+        The base implementation does nothing — global-model algorithms
+        serve a newcomer out of the box.  Clustered algorithms override
+        this to assign the joiner a cluster (FedClust through the
+        paper's Alg. 2 weight-distance rule); whatever dict is returned
+        is merged into the recorded population event.
+        """
+        return {}
+
+    def apply_population_event(self, event: PopulationEvent, key_idx: int) -> dict | None:
+        """Apply one population event to the running federation.
+
+        Called by the scheduler on the main thread, between rounds (or
+        dispatch cycles), in event-time order.  ``leave`` removes a
+        client from selection eligibility — its per-cluster state stays,
+        so a later ``return`` resumes where it left off; a leave that
+        would empty the federation is suppressed (and recorded as such).
+        ``join`` attaches the joiner's shard to the dataset, runs
+        :meth:`on_join`, and makes the client eligible.
+
+        Returns:
+            The event record for ``RoundRecord.extras["population"]``,
+            or ``None`` for a no-op (leaving while already away,
+            returning while present).
+        """
+        if self._eligible is None:  # population hooks off (static)
+            return None
+        cid = int(event.client)
+        rec: dict = {"t": float(event.time), "kind": event.kind, "client": cid}
+        if event.kind == "leave":
+            if cid not in self._eligible:
+                return None
+            if len(self._eligible) == 1:
+                # never let the federation empty out entirely
+                rec["suppressed"] = True
+                return rec
+            self._eligible.discard(cid)
+        elif event.kind == "return":
+            if cid >= self.fed.num_clients or cid in self._eligible:
+                return None
+            self._eligible.add(cid)
+        elif event.kind == "join":
+            client = self.population.take_joiner(cid)
+            self.fed.attach(client)
+            rec.update(self.on_join(cid, key_idx) or {})
+            self._eligible.add(cid)
+        else:
+            raise ValueError(f"unknown population event kind {event.kind!r}")
+        return rec
 
     def client_update(self, client_id: int, round_idx: int) -> ClientUpdate:
         """Default client behaviour: local SGD from the assigned model.

@@ -13,8 +13,11 @@ import multiprocessing
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
 
-from repro.algorithms import build_algorithm
+from repro.algorithms import ALGORITHMS, build_algorithm
 from repro.data import build_federated_dataset, make_dataset
 from repro.fl.codecs import (
     CODECS,
@@ -314,3 +317,93 @@ class TestEngineIntegration:
         assert int(h.upload_bytes.sum()) == a.comm.total_up
         assert int(h.download_bytes.sum()) == a.comm.total_down
         assert (h.upload_bytes > 0).all() and (h.download_bytes > 0).all()
+
+
+class TestNumericHardening:
+    """Wire-layer numeric edge cases: overflow, non-finite uploads."""
+
+    def test_fp16_clips_overflow_instead_of_inf(self):
+        # |delta| beyond float16's finite range (65504) must saturate,
+        # not become ±inf that decode would propagate into the model
+        delta = np.array([1e6, -1e6, 7e4, -7e4, 1.0, 0.0])
+        codec = Fp16Codec()
+        out = codec.decode(codec.encode(0, delta, rng()))
+        assert np.isfinite(out).all()
+        f16_max = float(np.finfo(np.float16).max)
+        np.testing.assert_array_equal(
+            out, np.array([f16_max, -f16_max, f16_max, -f16_max, 1.0, 0.0])
+        )
+
+    def test_fp16_nan_entries_encode_as_zero(self):
+        delta = np.array([np.nan, 2.0, np.inf, -np.inf])
+        codec = Fp16Codec()
+        out = codec.decode(codec.encode(0, delta, rng()))
+        assert np.isfinite(out).all()
+        f16_max = float(np.finfo(np.float16).max)
+        np.testing.assert_array_equal(out, [0.0, 2.0, f16_max, -f16_max])
+
+    @pytest.mark.parametrize("bad", [np.inf, -np.inf, np.nan])
+    def test_int8_nonfinite_peak_zero_encodes_and_records(self, bad):
+        # a divergent client's inf/NaN delta would give scale=inf and an
+        # all-NaN decode; it must zero-encode with a recorded event
+        delta = np.array([1.0, bad, -2.0])
+        codec = Int8Codec()
+        enc = codec.encode(7, delta, rng())
+        out = codec.decode(enc)
+        np.testing.assert_array_equal(out, np.zeros(3))
+        assert enc.nbytes == 3 + 8 + 8  # q + scale + header, like normal
+        assert codec.nonfinite_clients == []  # encode is pure
+        codec.commit(7, enc)
+        assert codec.nonfinite_clients == [7]
+        codec.reset()
+        assert codec.nonfinite_clients == []
+
+    def test_int8_finite_peaks_do_not_record(self):
+        codec = Int8Codec()
+        enc = codec.encode(3, np.array([1.0, -0.5]), rng())
+        codec.commit(3, enc)
+        assert codec.nonfinite_clients == []
+
+    def test_one_poisoned_client_cannot_break_the_federation(self, fed):
+        """Engine-level regression: an adversarial delta entry far beyond
+        the float16 range survives the fp16 wire without poisoning the
+        aggregate (accuracy and parameters stay finite)."""
+        from repro.fl.server import FederatedAlgorithm
+
+        class PoisonedFedAvg(ALGORITHMS["fedavg"]):
+            def client_update(self, client_id, round_idx):
+                u = super().client_update(client_id, round_idx)
+                if client_id == 0:
+                    u.params = u.params.copy()
+                    u.params[0] = 1e38  # delta overflows float16
+                return u
+
+        cfg = FLConfig(
+            rounds=2, sample_rate=1.0, local_epochs=1, batch_size=10,
+            lr=0.05, eval_every=1, codec="fp16",
+        )
+        algo = PoisonedFedAvg(fed, model_fn_for(fed), cfg, seed=0)
+        h = algo.run()
+        assert np.isfinite(algo.global_params).all()
+        assert np.isfinite(h.accuracies).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    codec_name=st.sampled_from(sorted(CODECS)),
+    values=hnp.arrays(
+        np.float64,
+        st.integers(min_value=1, max_value=64),
+        elements=st.floats(
+            min_value=-1e300, max_value=1e300,
+            allow_nan=False, allow_infinity=False,
+        ),
+    ),
+)
+def test_property_every_codec_roundtrips_finite_to_finite(codec_name, values):
+    """Satellite property: finite in ⇒ finite out, for every codec."""
+    codec = make_codec(codec=codec_name)
+    enc = codec.encode(0, values, np.random.default_rng(0))
+    out = codec.decode(enc)
+    assert out.shape == values.shape
+    assert np.isfinite(out).all()

@@ -30,6 +30,7 @@ from repro.fl.codecs import CODECS, IdentityCodec, TopKCodec, make_codec
 from repro.fl.config import FLConfig
 from repro.fl.execution import BACKENDS, make_backend
 from repro.fl.network import KNOWN_NET_KEYS, NETWORKS, make_network
+from repro.fl.population import KNOWN_POP_KEYS, POPULATIONS, make_population
 from repro.fl.scheduler import KNOWN_SCHED_KEYS, SCHEDULERS, make_scheduler
 from repro.nn.models import mlp
 from repro.utils.rng import RngFactory
@@ -48,6 +49,9 @@ FACTORIES = {
     "scheduler": lambda spec=None, config=None: make_scheduler(
         config, scheduler=spec
     ),
+    "population": lambda spec=None, config=None: make_population(
+        config, num_clients=8, rngs=RngFactory(0), population=spec
+    ),
 }
 
 ALL_IMPLS = [
@@ -60,19 +64,25 @@ ALL_IMPLS = [
 class TestRegistryShape:
     def test_families_present(self):
         names = [f.name for f in registry.families()]
-        assert names == ["backend", "codec", "network", "scheduler", "algorithm"]
+        assert names == [
+            "backend", "codec", "network", "scheduler", "population",
+            "algorithm",
+        ]
 
     def test_legacy_dicts_derive_from_registry(self):
         assert CODECS == registry.classes("codec")
         assert BACKENDS == registry.classes("backend")
         assert NETWORKS == registry.classes("network")
         assert SCHEDULERS == registry.classes("scheduler")
+        assert POPULATIONS == registry.classes("population")
         assert ALGORITHMS == registry.classes("algorithm")
 
     def test_known_prefix_keys_derived(self):
         assert KNOWN_NET_KEYS == registry.known_prefix_keys("network")
         assert KNOWN_SCHED_KEYS == registry.known_prefix_keys("scheduler")
+        assert KNOWN_POP_KEYS == registry.known_prefix_keys("population")
         assert "net_straggler_factor" in KNOWN_NET_KEYS
+        assert "pop_session" in KNOWN_POP_KEYS
         assert "sched_concurrency" in KNOWN_SCHED_KEYS
 
     def test_every_algorithm_registered_with_class(self):
@@ -261,6 +271,42 @@ class TestSpecStringErrors:
         with pytest.raises(ValueError, match="unknown option 'bs'"):
             FLConfig(scheduler="sync:bs=4")
         make_backend(backend="thread:workers=2").close()  # right impl: fine
+
+    def test_population_options_rejected_on_every_other_family(self):
+        """Satellite property: `resolve` rejects population options on
+        non-population families — exhaustively, for every declared
+        population option (canonical name and alias) against every
+        implementation of every other family."""
+        pop = registry.get_family("population")
+        pop_keys = set()
+        for o in list(pop.options) + [
+            o for impl in pop.impls.values() for o in impl.options
+        ]:
+            if o.inline:
+                pop_keys.add(o.name)
+                if o.alias:
+                    pop_keys.add(o.alias)
+        assert pop_keys  # the sweep must actually cover something
+        for family in ("backend", "codec", "network", "scheduler"):
+            fam = registry.get_family(family)
+            for impl in fam.impls:
+                for key in pop_keys:
+                    with pytest.raises(ValueError, match="unknown option|only applies to"):
+                        registry.resolve(family, spec=f"{impl}:{key}=1")
+
+    def test_population_only_for_cross_checks(self):
+        # churn-scoped knobs on other population impls: not declared
+        # there at all (impl options never leak across implementations)
+        with pytest.raises(ValueError, match="unknown option"):
+            registry.resolve("population", spec="static:session=4")
+        with pytest.raises(ValueError, match="unknown option"):
+            registry.resolve("population", spec="growth:gap=2")
+        # family-level join knobs do not apply to static
+        with pytest.raises(ValueError, match="only applies to"):
+            registry.resolve("population", spec="static:assign=random")
+        # the right implementations accept them
+        registry.resolve("population", spec="churn:session=4,gap=2")
+        registry.resolve("population", spec="growth:joiners=2,assign=random")
 
     def test_auto_with_inline_options_rejected_everywhere(self):
         # config validation and resolve() must agree, so the config
