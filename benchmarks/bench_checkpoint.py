@@ -1,0 +1,197 @@
+"""Checkpoint benchmark: save/load overhead and resume equivalence.
+
+Measures the crash-tolerance subsystem (:mod:`repro.fl.checkpoint`) on
+the execution-bench cell (CIFAR-10 / FedAvg, label skew):
+
+* **execution time** — the same cell run plain and with
+  ``checkpoint_every=1``, so the recorded overhead is the *worst case*
+  (a checkpoint at every single round boundary);
+* **save/load microbench** — wall-clock of ``save_checkpoint`` /
+  ``load_checkpoint`` on a real mid-run checkpoint, plus its file size;
+* **resume equivalence gate** — a run resumed from its mid-point
+  checkpoint must be bit-for-bit identical to the unbroken run
+  (everything in the history except host wall-clock).
+
+Results are emitted as ``benchmarks/out/BENCH_6.json`` — the start of
+the persistent perf trajectory the ROADMAP asks for (one JSON per PR's
+bench step, comparable across commits).
+
+Runs standalone too (CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_checkpoint.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments import BENCH_SCALE, SMOKE_SCALE
+from repro.experiments.runner import build_cell
+from repro.fl.checkpoint import load_checkpoint, save_checkpoint
+
+DATASET = "cifar10"
+METHOD = "fedavg"
+SETTING = "label_skew_20"
+ROUNDS = {"smoke": 4, "bench": 8}
+#: worst-case checkpointing (every round) must cost less than this
+#: fraction of the plain run's wall-clock
+MAX_OVERHEAD_FRAC = 0.25
+SAVE_LOAD_REPS = 20
+
+
+def _canonical(history) -> dict:
+    d = history.as_dict()
+    d.pop("seconds", None)
+    d.pop("setup_seconds", None)
+    return d
+
+
+def _run(scale, rounds, ckpt_dir=None, hook=None, resume_from=None):
+    overrides = {"rounds": rounds}
+    if ckpt_dir is not None:
+        overrides.update(checkpoint_every=1, checkpoint_dir=str(ckpt_dir))
+    algo = build_cell(
+        DATASET, METHOD, SETTING, scale, seed=0, config_overrides=overrides,
+    )
+    if hook is not None:
+        algo.on_checkpoint = hook
+    t0 = time.perf_counter()
+    history = algo.run(resume_from=resume_from)
+    return time.perf_counter() - t0, history
+
+
+def run_study(smoke: bool) -> dict:
+    scale = SMOKE_SCALE if smoke else BENCH_SCALE
+    rounds = ROUNDS["smoke" if smoke else "bench"]
+    tmp = Path(tempfile.mkdtemp(prefix="bench_ckpt_"))
+    try:
+        ckpt_dir = tmp / "cks"
+        keep = tmp / "keep"
+        keep.mkdir()
+        mid = rounds // 2
+
+        def keep_copy(round_idx, path):
+            shutil.copy(path, keep / f"r{round_idx}.ckpt")
+
+        plain_s, plain_hist = _run(scale, rounds)
+        ckpt_s, ckpt_hist = _run(scale, rounds, ckpt_dir, keep_copy)
+        assert _canonical(plain_hist) == _canonical(ckpt_hist), (
+            "checkpointing perturbed the run"
+        )
+
+        # resume-equivalence gate: restart from the mid-run boundary
+        resume_s, resumed_hist = _run(
+            scale, rounds, resume_from=str(keep / f"r{mid}.ckpt")
+        )
+        resume_ok = _canonical(resumed_hist) == _canonical(plain_hist)
+        assert resume_ok, f"resume from round {mid} diverged from unbroken run"
+
+        # save/load microbench on the final checkpoint
+        latest = ckpt_dir / "latest.ckpt"
+        file_bytes = latest.stat().st_size
+        ckpt = load_checkpoint(latest)
+        t0 = time.perf_counter()
+        for i in range(SAVE_LOAD_REPS):
+            save_checkpoint(tmp / f"s{i % 2}.ckpt", ckpt)
+        save_s = (time.perf_counter() - t0) / SAVE_LOAD_REPS
+        t0 = time.perf_counter()
+        for _ in range(SAVE_LOAD_REPS):
+            load_checkpoint(latest)
+        load_s = (time.perf_counter() - t0) / SAVE_LOAD_REPS
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    return {
+        "bench": "checkpoint",
+        "scale": scale.name,
+        "cell": f"{DATASET}/{METHOD}/{SETTING}",
+        "rounds": rounds,
+        "cpu_count": os.cpu_count(),
+        "run_seconds_plain": round(plain_s, 4),
+        "run_seconds_checkpoint_every_round": round(ckpt_s, 4),
+        "run_seconds_resumed_half": round(resume_s, 4),
+        "checkpoint_overhead_frac": round(max(0.0, ckpt_s / plain_s - 1.0), 4),
+        "save_seconds": round(save_s, 6),
+        "load_seconds": round(load_s, 6),
+        "checkpoint_file_bytes": file_bytes,
+        "resume_bitwise_equal": resume_ok,
+    }
+
+
+def render(row: dict) -> str:
+    return "\n".join([
+        f"Checkpoint/resume — overhead and equivalence ({row['scale']} "
+        f"scale, {row['cell']}, {row['rounds']} rounds)",
+        "",
+        f"plain run               {row['run_seconds_plain']:>9.2f}s",
+        f"checkpoint every round  "
+        f"{row['run_seconds_checkpoint_every_round']:>9.2f}s  "
+        f"(+{100 * row['checkpoint_overhead_frac']:.1f}%)",
+        f"resumed from mid-run    {row['run_seconds_resumed_half']:>9.2f}s",
+        f"save one checkpoint     {1e3 * row['save_seconds']:>8.2f}ms  "
+        f"({row['checkpoint_file_bytes']} bytes)",
+        f"load one checkpoint     {1e3 * row['load_seconds']:>8.2f}ms",
+        f"resume bit-for-bit equal to unbroken run: "
+        f"{row['resume_bitwise_equal']}",
+    ])
+
+
+def check(row: dict) -> None:
+    assert row["resume_bitwise_equal"], "resume equivalence gate failed"
+    if row["run_seconds_plain"] < 1.0:
+        # sub-second smoke runs put the overhead fraction inside timer
+        # noise; the gate is meaningful at bench scale only
+        return
+    assert row["checkpoint_overhead_frac"] <= MAX_OVERHEAD_FRAC, (
+        f"checkpointing every round cost "
+        f"{100 * row['checkpoint_overhead_frac']:.1f}% of the plain run "
+        f"(gate: {100 * MAX_OVERHEAD_FRAC:.0f}%)"
+    )
+
+
+def _save_json(row: dict) -> Path:
+    out_dir = Path(__file__).parent / "out"
+    out_dir.mkdir(exist_ok=True)
+    path = out_dir / "BENCH_6.json"
+    path.write_text(json.dumps(row, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def test_checkpoint_overhead(benchmark, save_artifact):
+    from conftest import run_once
+
+    row = run_once(benchmark, lambda: run_study(smoke=False))
+    save_artifact("checkpoint_overhead", render(row))
+    _save_json(row)
+    check(row)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny configuration for CI (seconds instead of minutes)",
+    )
+    args = parser.parse_args(argv)
+    row = run_study(args.smoke)
+    text = render(row)
+    out_dir = Path(__file__).parent / "out"
+    out_dir.mkdir(exist_ok=True)
+    name = "checkpoint_smoke" if args.smoke else "checkpoint_overhead"
+    (out_dir / f"{name}.txt").write_text(text + "\n")
+    path = _save_json(row)
+    print(text)
+    print(f"[saved to {out_dir / (name + '.txt')} and {path}]")
+    check(row)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@ Usage::
     python -m repro.experiments table5 --codec topk:frac=0.1
     python -m repro.experiments components     # list every registered component
     python -m repro.experiments components --check-docs   # CI drift gate
+    python -m repro.experiments resume --checkpoint checkpoints/latest.ckpt
 
 Artifacts print to stdout in the paper's row format.  The engine flags
 (``--backend``, ``--codec``, ``--network``, ``--scheduler``, and their
@@ -72,7 +73,7 @@ ARTIFACTS = [
     "figure1", "table1", "table2", "table3", "figure3",
     "table4", "table5", "figure4", "table6", "population",
 ]
-COMMANDS = ARTIFACTS + ["all", "components"]
+COMMANDS = ARTIFACTS + ["all", "components", "resume"]
 
 
 def run_artifact(name: str, scale, seeds, datasets) -> str:
@@ -267,6 +268,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--dataset", choices=DATASETS, action="append",
                         help="restrict to specific datasets (repeatable)")
     _add_registry_flags(parser)
+    resume_group = parser.add_argument_group("resume subcommand")
+    resume_group.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="checkpoint file to resume (round-NNNNNN.ckpt or latest.ckpt "
+             "written by --checkpoint-every / REPRO_CHECKPOINT_EVERY)",
+    )
     group = parser.add_argument_group("components subcommand")
     group.add_argument("--markdown", action="store_true",
                        help="print the docs flag table instead of the "
@@ -281,6 +288,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.artifact == "components":
         return _run_components(args)
+    if args.artifact == "resume" and args.checkpoint is None:
+        parser.error("resume requires --checkpoint PATH")
 
     _validate_registry_flags(parser, args)
 
@@ -296,6 +305,8 @@ def main(argv: list[str] | None = None) -> int:
     datasets = args.dataset or DATASETS
     names = ARTIFACTS if args.artifact == "all" else [args.artifact]
     try:
+        if args.artifact == "resume":
+            return _run_resume(args.checkpoint)
         _run_all(names, scale, args.seeds, datasets)
     finally:
         for key, value in saved_env.items():
@@ -303,6 +314,28 @@ def main(argv: list[str] | None = None) -> int:
                 os.environ.pop(key, None)
             else:
                 os.environ[key] = value
+    return 0
+
+
+def _run_resume(path: str) -> int:
+    """Resume a checkpointed experiment cell and print its summary."""
+    from repro.experiments.runner import resume_cell
+    from repro.fl.checkpoint import load_checkpoint
+
+    ckpt = load_checkpoint(path)
+    meta = ckpt.meta or {}
+    label = "/".join(
+        str(meta[k]) for k in ("dataset", "method", "setting") if k in meta
+    )
+    print(f"resuming {label or 'checkpoint'} from round {ckpt.round}: {path}")
+    result = resume_cell(ckpt)
+    hist = result.history
+    print(
+        f"resumed run complete: {result.method} on {result.dataset} "
+        f"({result.setting}, seed {result.seed}) — "
+        f"{len(hist.records)} rounds recorded, "
+        f"final accuracy {result.final_accuracy:.4f}"
+    )
     return 0
 
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
@@ -16,7 +16,7 @@ from repro.experiments.configs import (
 from repro.fl import registry
 from repro.fl.history import History
 
-__all__ = ["CellResult", "run_cell", "run_methods"]
+__all__ = ["CellResult", "build_cell", "run_cell", "run_methods", "resume_cell"]
 
 
 @dataclass
@@ -44,6 +44,63 @@ _LEGACY_KWARGS = (
 )
 
 
+def build_cell(
+    dataset: str,
+    method: str,
+    setting: str,
+    scale: ExperimentScale,
+    seed: int = 0,
+    config_overrides: dict | None = None,
+    extra_overrides: dict | None = None,
+    fl_options: dict | None = None,
+    **legacy_options,
+):
+    """Construct one cell's ready-to-run algorithm without running it.
+
+    The construction half of :func:`run_cell`, exposed so callers can
+    hook the algorithm before execution (the crash-injection harness
+    sets ``on_checkpoint``) or resume it (``algo.run(resume_from=...)``).
+    The cell's coordinates — everything needed to rebuild an identical
+    algorithm — are recorded in ``algo.checkpoint_meta``, so every
+    checkpoint the run writes is self-describing and the ``resume`` CLI
+    can reconstruct the cell from the file alone.
+    """
+    unknown = set(legacy_options) - set(_LEGACY_KWARGS)
+    if unknown:
+        raise TypeError(
+            f"build_cell() got unexpected keyword arguments {sorted(unknown)}; "
+            f"pass engine knobs via fl_options (known keys: "
+            f"{sorted(registry.flat_option_targets())})"
+        )
+    merged_options = dict(fl_options or {})
+    merged_options.update(
+        {k: v for k, v in legacy_options.items() if v is not None}
+    )
+    overrides = dict(config_overrides or {})
+    option_fields, option_extras = registry.apply_options(merged_options)
+    overrides.update(option_fields)
+    fed = make_federation(dataset, setting, scale, seed=seed)
+    model_fn = make_model_fn(dataset, fed, scale)
+    cfg = scale.fl_config(**overrides)
+    extras = method_extras(method, dataset, scale)
+    extras.update(option_extras)
+    extras.update(extra_overrides or {})
+    if extras:
+        cfg = cfg.with_extra(**extras)
+    algo = build_algorithm(method, fed, model_fn, cfg, seed=seed)
+    algo.checkpoint_meta = {
+        "dataset": dataset,
+        "method": method,
+        "setting": setting,
+        "scale": asdict(scale),
+        "seed": int(seed),
+        "config_overrides": dict(config_overrides or {}),
+        "extra_overrides": dict(extra_overrides or {}),
+        "fl_options": merged_options,
+    }
+    return algo
+
+
 def run_cell(
     dataset: str,
     method: str,
@@ -53,6 +110,7 @@ def run_cell(
     config_overrides: dict | None = None,
     extra_overrides: dict | None = None,
     fl_options: dict | None = None,
+    resume_from=None,
     **legacy_options,
 ) -> CellResult:
     """Run one (dataset, method, setting) cell at the given scale.
@@ -73,6 +131,10 @@ def run_cell(
             declares (:func:`repro.fl.registry.apply_options`); unknown
             keys raise with the known-key list.  This replaces the old
             one-keyword-per-knob signature.
+        resume_from: checkpoint path (or loaded
+            :class:`~repro.fl.checkpoint.Checkpoint`) to resume from
+            instead of starting at round 1; the cell configuration must
+            match the checkpoint's fingerprint.
         **legacy_options: deprecated per-knob shorthands (``backend=``,
             ``codec=``, ``topk_frac=``, ...); still honoured, and they
             win over ``fl_options`` like explicit keywords always did.
@@ -80,31 +142,54 @@ def run_cell(
     Returns:
         The completed :class:`CellResult`.
     """
-    unknown = set(legacy_options) - set(_LEGACY_KWARGS)
-    if unknown:
-        raise TypeError(
-            f"run_cell() got unexpected keyword arguments {sorted(unknown)}; "
-            f"pass engine knobs via fl_options (known keys: "
-            f"{sorted(registry.flat_option_targets())})"
-        )
-    merged_options = dict(fl_options or {})
-    merged_options.update(
-        {k: v for k, v in legacy_options.items() if v is not None}
+    algo = build_cell(
+        dataset, method, setting, scale, seed=seed,
+        config_overrides=config_overrides, extra_overrides=extra_overrides,
+        fl_options=fl_options, **legacy_options,
     )
-    overrides = dict(config_overrides or {})
-    option_fields, option_extras = registry.apply_options(merged_options)
-    overrides.update(option_fields)
-    fed = make_federation(dataset, setting, scale, seed=seed)
-    model_fn = make_model_fn(dataset, fed, scale)
-    cfg = scale.fl_config(**overrides)
-    extras = method_extras(method, dataset, scale)
-    extras.update(option_extras)
-    extras.update(extra_overrides or {})
-    if extras:
-        cfg = cfg.with_extra(**extras)
-    algo = build_algorithm(method, fed, model_fn, cfg, seed=seed)
-    history = algo.run()
+    history = algo.run(resume_from=resume_from)
     return CellResult(dataset, method, setting, seed, history, algo)
+
+
+def resume_cell(checkpoint) -> CellResult:
+    """Resume an experiments-runner cell from its checkpoint file.
+
+    Rebuilds the cell from the provenance the runner stored in the
+    checkpoint's ``meta`` (dataset, method, setting, scale, seed, and
+    every override), then runs it to completion from the saved round.
+
+    Raises:
+        ValueError: if the checkpoint carries no runner provenance (it
+            was saved by a hand-built run — resume those with
+            ``algo.run(resume_from=...)`` directly), or if the rebuilt
+            configuration no longer matches the checkpoint's fingerprint
+            (e.g. conflicting ``REPRO_*`` environment overrides).
+    """
+    from repro.fl.checkpoint import Checkpoint, load_checkpoint
+
+    ckpt = (
+        checkpoint
+        if isinstance(checkpoint, Checkpoint)
+        else load_checkpoint(checkpoint)
+    )
+    meta = ckpt.meta
+    if not meta or "dataset" not in meta:
+        raise ValueError(
+            "checkpoint carries no experiment-cell provenance; it was not "
+            "written by the experiments runner — resume it with "
+            "FederatedAlgorithm.run(resume_from=...) on a hand-built cell"
+        )
+    return run_cell(
+        meta["dataset"],
+        meta["method"],
+        meta["setting"],
+        ExperimentScale(**meta["scale"]),
+        seed=meta["seed"],
+        config_overrides=meta.get("config_overrides"),
+        extra_overrides=meta.get("extra_overrides"),
+        fl_options=meta.get("fl_options"),
+        resume_from=ckpt,
+    )
 
 
 def run_methods(

@@ -134,6 +134,15 @@ class Codec(ABC):
     def reset(self) -> None:
         """Drop accumulated per-client state (for reuse across runs)."""
 
+    def state_dict(self) -> dict:
+        """Picklable snapshot of accumulated per-client state
+        (checkpointing); stateless codecs return ``{}``."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (no-op when stateless)."""
+        self.reset()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}()"
 
@@ -249,6 +258,12 @@ class Int8Codec(Codec):
     def reset(self) -> None:
         self.nonfinite_clients.clear()
 
+    def state_dict(self) -> dict:
+        return {"nonfinite_clients": list(self.nonfinite_clients)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.nonfinite_clients = [int(c) for c in state["nonfinite_clients"]]
+
 
 @register("codec", "topk", options=[
     opt("topk_frac", float, 0.05,
@@ -310,6 +325,17 @@ class TopKCodec(Codec):
 
     def reset(self) -> None:
         self._residuals.clear()
+
+    def state_dict(self) -> dict:
+        return {
+            "residuals": {int(c): r.copy() for c, r in self._residuals.items()}
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._residuals = {
+            int(c): np.asarray(r, dtype=np.float64)
+            for c, r in state["residuals"].items()
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TopKCodec(frac={self.frac})"

@@ -132,6 +132,24 @@ class CommTracker:
         )
         return np.cumsum(per_round) / MB
 
+    def state_dict(self) -> dict:
+        """Picklable snapshot of all metered traffic (checkpointing)."""
+        return {
+            "up": dict(self._up),
+            "down": dict(self._down),
+            "up_logical": dict(self._up_logical),
+            "down_logical": dict(self._down_logical),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (replaces all meters)."""
+        self._up = {int(k): int(v) for k, v in state["up"].items()}
+        self._down = {int(k): int(v) for k, v in state["down"].items()}
+        self._up_logical = {int(k): int(v) for k, v in state["up_logical"].items()}
+        self._down_logical = {
+            int(k): int(v) for k, v in state["down_logical"].items()
+        }
+
     def reset(self) -> None:
         """Forget all metered traffic (reuse across runner repeats)."""
         self._up.clear()

@@ -93,6 +93,15 @@ class FLConfig:
     #: ``"auto"`` (resolve from ``REPRO_POPULATION``, defaulting to
     #: static), or an inline spec (``"churn:session=20,gap=5"``)
     population: str = "auto"
+    #: save a resumable checkpoint (:mod:`repro.fl.checkpoint`) every N
+    #: completed rounds (flushes, for ``buffered``).  ``None`` disables
+    #: checkpointing (``REPRO_CHECKPOINT_EVERY`` can still enable it
+    #: globally).
+    checkpoint_every: int | None = None
+    #: directory periodic checkpoints are written to (``round-NNNNNN.ckpt``
+    #: plus an always-current ``latest.ckpt``); ``None`` resolves from
+    #: ``REPRO_CHECKPOINT_DIR``, then defaults to ``"checkpoints"``
+    checkpoint_dir: str | None = None
     #: algorithm-specific knobs (e.g. FedProx mu, IFCA k, FedClust lambda)
     #: plus prefix-namespaced component knobs (``net_*``, ``sched_*``),
     #: validated against the registry's declared option names

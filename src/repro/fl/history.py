@@ -227,6 +227,35 @@ class History:
             return None
         return float(np.cumsum(self.sim_seconds)[hits[0]])
 
+    def state_dict(self) -> dict:
+        """Full, picklable snapshot for checkpointing (exact floats)."""
+        return {
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "setup_seconds": self.setup_seconds,
+            "records": [
+                {
+                    "round": r.round,
+                    "accuracy": r.accuracy,
+                    "train_loss": r.train_loss,
+                    "cumulative_mb": r.cumulative_mb,
+                    "seconds": r.seconds,
+                    "upload_bytes": r.upload_bytes,
+                    "download_bytes": r.download_bytes,
+                    "sim_seconds": r.sim_seconds,
+                    "extras": dict(r.extras),
+                }
+                for r in self.records
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (replaces all records)."""
+        self.algorithm = state["algorithm"]
+        self.dataset = state["dataset"]
+        self.setup_seconds = float(state["setup_seconds"])
+        self.records = [RoundRecord(**r) for r in state["records"]]
+
     def as_dict(self) -> dict:
         """JSON-serializable summary of the history (see ``utils.io``)."""
         return {

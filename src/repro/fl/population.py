@@ -78,7 +78,7 @@ import numpy as np
 
 from repro.fl import registry
 from repro.fl.registry import opt, register
-from repro.utils.rng import RngFactory
+from repro.utils.rng import RngFactory, generator_state, restore_generator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.data.federated import ClientData
@@ -232,6 +232,43 @@ class PopulationModel:
             ) from None
 
     # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Picklable snapshot of the pending-event stream and joiner pool.
+
+        The joiner shards themselves are *not* serialized — they are a
+        deterministic function of the run's seed, so a resume rebuilds
+        them by running ``begin`` on a fresh dataset and re-attaching
+        whichever clients had already joined (see :meth:`load_state_dict`).
+        """
+        return {
+            # a sorted (time, seq, ...) list is a valid min-heap, and —
+            # unlike the heap's internal order — is byte-stable across
+            # save → load → save round-trips
+            "heap": [
+                (t, seq, (e.time, e.kind, e.client))
+                for t, seq, e in sorted(self._heap, key=lambda h: (h[0], h[1]))
+            ],
+            "seq": self._seq,
+            "pool": sorted(self._pool),
+        }
+
+    def load_state_dict(self, state: dict, algo: "FederatedAlgorithm") -> None:
+        """Restore a :meth:`state_dict` snapshot onto a freshly-``begin``-ed
+        model: clients that had already joined are re-attached to the
+        federation, then the event heap and sequence counter are replaced.
+        """
+        pool_ids = {int(c) for c in state["pool"]}
+        for cid in sorted(set(self._pool) - pool_ids):
+            algo.fed.attach(self._pool.pop(cid))
+        self._heap = [
+            (float(t), int(seq), PopulationEvent(float(et), str(kind), int(cid)))
+            for t, seq, (et, kind, cid) in state["heap"]
+        ]
+        self._seq = int(state["seq"])
+
+    # ------------------------------------------------------------------
     def _push(self, time: float, kind: str, client: int) -> None:
         event = PopulationEvent(float(time), kind, int(client))
         heapq.heappush(self._heap, (event.time, self._seq, event))
@@ -331,6 +368,22 @@ class ChurnPopulation(PopulationModel):
             self._push(event.time + rng.exponential(self.gap), "return", event.client)
         else:  # return → next session
             self._push(event.time + rng.exponential(self.session), "leave", event.client)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        # the per-client session generators are the engine's only
+        # long-lived sequential RNG streams: everything else re-derives
+        # from (seed, name, index) keys, but these advance draw by draw
+        state["client_rng"] = {
+            int(c): generator_state(g) for c, g in sorted(self._client_rng.items())
+        }
+        return state
+
+    def load_state_dict(self, state: dict, algo: "FederatedAlgorithm") -> None:
+        super().load_state_dict(state, algo)
+        self._client_rng = {
+            int(c): restore_generator(s) for c, s in state["client_rng"].items()
+        }
 
 
 @register("population", "growth")

@@ -79,6 +79,7 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from repro.fl import registry
+from repro.fl.checkpoint import Checkpointer
 from repro.fl.codecs import Encoded, IdentityCodec
 from repro.fl.history import RoundRecord
 from repro.fl.network import IdealNetwork, resolve_deadline
@@ -102,6 +103,26 @@ __all__ = [
 #: at the bottom of the module, after every scheduler has registered its
 #: options.
 KNOWN_SCHED_KEYS: frozenset[str]
+
+#: checkpointing applies to every scheduler, so its knobs are declared
+#: once at the family level (like the network family's ``deadline``);
+#: ``env_mode="fill"`` lets ``REPRO_CHECKPOINT_*`` fill an unset config
+#: field regardless of how the scheduler itself was selected
+registry.family_options("scheduler", [
+    opt("checkpoint_every", int, None,
+        optional=True, low=1, inline=False,
+        env="REPRO_CHECKPOINT_EVERY", cli="checkpoint-every",
+        field="checkpoint_every", env_mode="fill",
+        help="save a resumable checkpoint every N completed rounds "
+             "(flushes, for `buffered`); unset disables checkpointing"),
+    opt("checkpoint_dir", str, None,
+        optional=True, inline=False,
+        env="REPRO_CHECKPOINT_DIR", cli="checkpoint-dir",
+        field="checkpoint_dir", env_mode="fill",
+        help="directory periodic checkpoints are written to "
+             "(`round-NNNNNN.ckpt` + `latest.ckpt`; default "
+             "`checkpoints`)"),
+])
 
 
 def nominal_cohort(num_clients: int, sample_rate: float) -> int:
@@ -195,6 +216,36 @@ class _Spans(object):
         self.events = []
         self.pop_events = []
 
+    def state_dict(self) -> dict:
+        """Picklable snapshot of the partial span (checkpointing).
+
+        Wall-clock ``mark`` is excluded: a resumed span restarts its
+        wall-clock measurement, which is why checkpoint equality is
+        defined over everything *except* the ``seconds`` fields.
+        """
+        return {
+            "sim": self.sim,
+            "last_up": self.last_up,
+            "last_down": self.last_down,
+            "dropped": list(self.dropped),
+            "unavailable": list(self.unavailable),
+            "cancelled": list(self.cancelled),
+            "events": [dict(e) for e in self.events],
+            "pop_events": [dict(e) for e in self.pop_events],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a partial span (the wall-clock mark restarts at now)."""
+        self.sim = float(state["sim"])
+        self.last_up = int(state["last_up"])
+        self.last_down = int(state["last_down"])
+        self.dropped = list(state["dropped"])
+        self.unavailable = list(state["unavailable"])
+        self.cancelled = list(state["cancelled"])
+        self.events = [dict(e) for e in state["events"]]
+        self.pop_events = [dict(e) for e in state["pop_events"]]
+        self.mark = time.perf_counter()
+
 
 class Scheduler(ABC):
     """Owns a federation's control loop (rounds 1..T, after ``setup``).
@@ -235,8 +286,15 @@ class Scheduler(ABC):
             )
 
     @abstractmethod
-    def run(self, algo: "FederatedAlgorithm") -> None:
-        """Drive rounds 1..T of the federation (``setup`` already ran)."""
+    def run(self, algo: "FederatedAlgorithm", resume: dict | None = None) -> None:
+        """Drive rounds 1..T of the federation (``setup`` already ran).
+
+        Args:
+            algo: the federation to drive.
+            resume: a scheduler resume dict produced by :meth:`state_dict`
+                (via :func:`repro.fl.checkpoint.restore`); ``None`` starts
+                from round 1.
+        """
 
     # ------------------------------------------------------------------
     # round primitives
@@ -260,6 +318,40 @@ class Scheduler(ABC):
         #: which counts one second per round so population scenarios stay
         #: expressible under the default configuration
         self.pop_now = 0.0
+        #: periodic checkpoint writer (``None`` = checkpointing disabled)
+        self._checkpointer = Checkpointer.from_config(algo.config)
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self, completed: int, spans: _Spans) -> dict:
+        """Resume state at a completed round/flush boundary.
+
+        Subclasses with a live event queue (``buffered``) extend this
+        with their in-flight state.
+        """
+        return {
+            "round": int(completed),
+            "pop_now": float(self.pop_now),
+            "spans": spans.state_dict(),
+        }
+
+    def maybe_checkpoint(
+        self, algo: "FederatedAlgorithm", spans: _Spans, completed: int
+    ) -> None:
+        """Write a periodic checkpoint at a completed boundary (if enabled).
+
+        Runs after the boundary's aggregation and any record are
+        committed, so the snapshot is exactly "``completed`` rounds
+        done".  Fires ``algo.on_checkpoint(completed, path)`` afterwards
+        — the crash-injection harness hangs its SIGKILL there.
+        """
+        cp = self._checkpointer
+        if cp is None or completed % cp.every != 0:
+            return
+        path = cp.save(algo, self.state_dict(completed, spans))
+        if algo.on_checkpoint is not None:
+            algo.on_checkpoint(completed, path)
 
     def advance_population(
         self, algo: "FederatedAlgorithm", spans: _Spans, key_idx: int, now: float
@@ -399,11 +491,16 @@ class SyncScheduler(Scheduler):
 
     name = "sync"
 
-    def run(self, algo: "FederatedAlgorithm") -> None:
+    def run(self, algo: "FederatedAlgorithm", resume: dict | None = None) -> None:
         cfg = algo.config
         self.begin(algo)
         spans = _Spans(algo)
-        for round_idx in range(1, cfg.rounds + 1):
+        start = 1
+        if resume is not None:
+            start = int(resume["round"]) + 1
+            self.pop_now = float(resume["pop_now"])
+            spans.load_state_dict(resume["spans"])
+        for round_idx in range(start, cfg.rounds + 1):
             self.advance_population(algo, spans, round_idx, self.pop_now)
             selected = algo.select_clients(round_idx)
             survivors, down_nbytes, unavailable = self.wire_down(
@@ -437,6 +534,7 @@ class SyncScheduler(Scheduler):
             self.pop_now += round_sim if self.simulate else 1.0
             if round_idx % cfg.eval_every == 0 or round_idx == cfg.rounds:
                 spans.flush_record(round_idx, delivered)
+            self.maybe_checkpoint(algo, spans, round_idx)
 
 
 @register("scheduler", "semisync", options=[
@@ -467,13 +565,21 @@ class SemiSyncScheduler(Scheduler):
 
     name = "semisync"
 
-    def run(self, algo: "FederatedAlgorithm") -> None:
+    def run(self, algo: "FederatedAlgorithm", resume: dict | None = None) -> None:
         cfg = algo.config
         self.begin(algo)
         spans = _Spans(algo)
+        # the initial-roster quorum survives a resume: under a dynamic
+        # population it is recomputed per round below, and under a static
+        # one ``fed.num_clients`` never changes
         quorum = nominal_cohort(algo.fed.num_clients, cfg.sample_rate)
         rate = min(1.0, cfg.sample_rate * (1.0 + self.over_select_frac))
-        for round_idx in range(1, cfg.rounds + 1):
+        start = 1
+        if resume is not None:
+            start = int(resume["round"]) + 1
+            self.pop_now = float(resume["pop_now"])
+            spans.load_state_dict(resume["spans"])
+        for round_idx in range(start, cfg.rounds + 1):
             self.advance_population(algo, spans, round_idx, self.pop_now)
             if self.dynamic_population:
                 # quorum tracks the eligible population as it churns
@@ -528,6 +634,7 @@ class SemiSyncScheduler(Scheduler):
             self.pop_now += round_sim if self.simulate else 1.0
             if round_idx % cfg.eval_every == 0 or round_idx == cfg.rounds:
                 spans.flush_record(round_idx, delivered)
+            self.maybe_checkpoint(algo, spans, round_idx)
 
 
 @register("scheduler", "buffered", options=[
@@ -576,80 +683,62 @@ class BufferedScheduler(Scheduler):
 
     name = "buffered"
 
-    def run(self, algo: "FederatedAlgorithm") -> None:
+    def run(self, algo: "FederatedAlgorithm", resume: dict | None = None) -> None:
         cfg = algo.config
         self.begin(algo)
         spans = _Spans(algo)
-        cohort = nominal_cohort(algo.fed.num_clients, cfg.sample_rate)
-        concurrency = int(self.extra_knob(algo, "sched_concurrency", 0)) or cohort
-        if concurrency < 1:
-            raise ValueError(f"sched_concurrency must be >= 1, got {concurrency}")
-        k = self.buffer_size or min(concurrency, max(2, concurrency // 2))
-        total_flushes = max(
-            cfg.rounds, int(np.ceil(cfg.rounds * concurrency / k))
-        )
-        eval_every = cfg.eval_every
-        heap: list[tuple[float, int, int, int, WireItem]] = []
-        running: set[int] = set()
-        buffer: list[tuple[int, int, int, float, "ClientUpdate"]] = []
-        state = {"seq": 0, "cycle": 0}
-        version = 0  # completed flushes (the server's model version)
-        now = 0.0
-        mark_sim = 0.0  # virtual time at the last record
-
-        def dispatch(t: float) -> None:
-            """Fill every free slot with a fresh client at virtual time t."""
-            # population clock: virtual time when anything is simulated,
-            # else one second per completed flush (mirrors sync's
-            # one-second-per-round fallback)
-            self.pop_now = t if self.simulate else float(version)
-            self.advance_population(algo, spans, state["cycle"] + 1, self.pop_now)
-            free = concurrency - len(running)
-            if free <= 0:
-                return
-            state["cycle"] += 1
-            cycle = state["cycle"]
-            pool = algo.select_clients(cycle)
-            picks = [int(c) for c in pool if int(c) not in running]
-            if len(picks) > free:
-                # More candidates than free slots: choose uniformly (the
-                # pool is sorted, so truncating would starve high ids),
-                # then restore sorted order for the wire-down draws.
-                perm = algo.rngs.make("sched.refill", cycle).permutation(len(picks))
-                picks = sorted(picks[i] for i in perm[:free])
-            survivors, down_nbytes, unavailable = self.wire_down(
-                algo, cycle, np.asarray(picks, dtype=int)
+        if resume is None:
+            self._cohort = nominal_cohort(algo.fed.num_clients, cfg.sample_rate)
+            concurrency = (
+                int(self.extra_knob(algo, "sched_concurrency", 0)) or self._cohort
             )
-            spans.unavailable.extend(unavailable)
-            for u in self.execute(algo, cycle, survivors):
-                item = self.encode_upload(algo, u, cycle)
-                dur = self.trip_seconds(algo, item, down_nbytes)
-                heapq.heappush(heap, (t + dur, state["seq"], cycle, version, item))
-                running.add(int(u.client_id))
-                state["seq"] += 1
-
-        dispatch(now)
-        while version < total_flushes:
-            if heap:
-                t, seq, cycle, v_dispatch, item = heapq.heappop(heap)
-                now = t
-                running.discard(int(item.update.client_id))
+            if concurrency < 1:
+                raise ValueError(
+                    f"sched_concurrency must be >= 1, got {concurrency}"
+                )
+            self._concurrency = concurrency
+            self._k = self.buffer_size or min(
+                concurrency, max(2, concurrency // 2)
+            )
+            self._total_flushes = max(
+                cfg.rounds, int(np.ceil(cfg.rounds * concurrency / self._k))
+            )
+            self._heap: list[tuple[float, int, int, int, WireItem]] = []
+            self._running: set[int] = set()
+            self._buffer: list[tuple[int, int, int, float, "ClientUpdate"]] = []
+            self._cycle = 0
+            self._seq = 0
+            self._version = 0  # completed flushes (the server's model version)
+            self._now = 0.0
+            self._mark_sim = 0.0  # virtual time at the last record
+            self._dispatch(algo, spans, self._now)
+        else:
+            self._load_resume(spans, resume)
+        eval_every = cfg.eval_every
+        while self._version < self._total_flushes:
+            if self._heap:
+                t, seq, cycle, v_dispatch, item = heapq.heappop(self._heap)
+                self._now = t
+                self._running.discard(int(item.update.client_id))
                 u = self.deliver(algo, item, cycle)
-                buffer.append((seq, cycle, v_dispatch, now, u))
-                if len(buffer) < k and running:
+                self._buffer.append((seq, cycle, v_dispatch, self._now, u))
+                if len(self._buffer) < self._k and self._running:
                     continue
             # flush: fold the buffer in dispatch (submission) order —
             # also reached with an empty heap, so a cohort that entirely
             # dropped out still advances the federation
-            version += 1
-            buffer.sort(key=lambda b: b[0])
-            merged = [b[4] for b in buffer]
-            staleness = [version - 1 - b[2] for b in buffer]
+            self._version += 1
+            version = self._version
+            self._buffer.sort(key=lambda b: b[0])
+            merged = [b[4] for b in self._buffer]
+            staleness = [version - 1 - b[2] for b in self._buffer]
             if merged:
                 # an empty flush (cohort entirely dropped out) changes
                 # nothing server-side but still advances the federation
                 algo.merge(version, merged, staleness)
-            for (seq, cycle, v_dispatch, t_arr, u), s in zip(buffer, staleness):
+            for (seq, cycle, v_dispatch, t_arr, u), s in zip(
+                self._buffer, staleness
+            ):
                 spans.events.append(
                     {
                         "client": int(u.client_id),
@@ -658,13 +747,89 @@ class BufferedScheduler(Scheduler):
                         "flush": int(version),
                     }
                 )
-            buffer = []
-            if version % eval_every == 0 or version == total_flushes:
-                spans.sim = now - mark_sim
-                mark_sim = now
+            self._buffer = []
+            if version % eval_every == 0 or version == self._total_flushes:
+                spans.sim = self._now - self._mark_sim
+                self._mark_sim = self._now
                 spans.flush_record(version, merged)
-            if version < total_flushes:
-                dispatch(now)
+            if version < self._total_flushes:
+                self._dispatch(algo, spans, self._now)
+            # checkpoint after the re-dispatch: the snapshot's heap holds
+            # the newly in-flight uploads, so resuming re-enters the loop
+            # exactly where the unbroken run stood ("round" = flushes)
+            self.maybe_checkpoint(algo, spans, version)
+
+    def _dispatch(self, algo: "FederatedAlgorithm", spans: _Spans, t: float) -> None:
+        """Fill every free slot with a fresh client at virtual time t."""
+        # population clock: virtual time when anything is simulated,
+        # else one second per completed flush (mirrors sync's
+        # one-second-per-round fallback)
+        self.pop_now = t if self.simulate else float(self._version)
+        self.advance_population(algo, spans, self._cycle + 1, self.pop_now)
+        free = self._concurrency - len(self._running)
+        if free <= 0:
+            return
+        self._cycle += 1
+        cycle = self._cycle
+        pool = algo.select_clients(cycle)
+        picks = [int(c) for c in pool if int(c) not in self._running]
+        if len(picks) > free:
+            # More candidates than free slots: choose uniformly (the
+            # pool is sorted, so truncating would starve high ids),
+            # then restore sorted order for the wire-down draws.
+            perm = algo.rngs.make("sched.refill", cycle).permutation(len(picks))
+            picks = sorted(picks[i] for i in perm[:free])
+        survivors, down_nbytes, unavailable = self.wire_down(
+            algo, cycle, np.asarray(picks, dtype=int)
+        )
+        spans.unavailable.extend(unavailable)
+        for u in self.execute(algo, cycle, survivors):
+            item = self.encode_upload(algo, u, cycle)
+            dur = self.trip_seconds(algo, item, down_nbytes)
+            heapq.heappush(
+                self._heap, (t + dur, self._seq, cycle, self._version, item)
+            )
+            self._running.add(int(u.client_id))
+            self._seq += 1
+
+    def state_dict(self, completed: int, spans: _Spans) -> dict:
+        state = super().state_dict(completed, spans)
+        state.update(
+            # sized at run start from the *initial* roster — a resumed
+            # run must not recompute them after joins grew the federation
+            cohort=self._cohort,
+            concurrency=self._concurrency,
+            k=self._k,
+            total_flushes=self._total_flushes,
+            # in-flight uploads; sorted (time, seq) is a valid min-heap
+            # and, unlike the heap's internal layout, byte-stable across
+            # save → load → save round-trips.  The buffer is always empty
+            # here (checkpoints happen right after a flush).
+            heap=sorted(self._heap, key=lambda h: (h[0], h[1])),
+            running=sorted(self._running),
+            cycle=self._cycle,
+            seq=self._seq,
+            version=self._version,
+            now=self._now,
+            mark_sim=self._mark_sim,
+        )
+        return state
+
+    def _load_resume(self, spans: _Spans, resume: dict) -> None:
+        spans.load_state_dict(resume["spans"])
+        self.pop_now = float(resume["pop_now"])
+        self._cohort = int(resume["cohort"])
+        self._concurrency = int(resume["concurrency"])
+        self._k = int(resume["k"])
+        self._total_flushes = int(resume["total_flushes"])
+        self._heap = list(resume["heap"])
+        self._running = {int(c) for c in resume["running"]}
+        self._buffer = []
+        self._cycle = int(resume["cycle"])
+        self._seq = int(resume["seq"])
+        self._version = int(resume["version"])
+        self._now = float(resume["now"])
+        self._mark_sim = float(resume["mark_sim"])
 
 
 #: name → class, derived from the component registry (kept for

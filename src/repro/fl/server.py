@@ -52,6 +52,13 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.data.federated import ClientData, FederatedDataset
+from repro.fl.checkpoint import (
+    Checkpoint,
+    check_compatible,
+    load_checkpoint,
+    restore as restore_checkpoint,
+    run_fingerprint,
+)
 from repro.fl.codecs import Codec, make_codec
 from repro.fl.comm import CommTracker
 from repro.fl.config import FLConfig
@@ -218,6 +225,17 @@ class FederatedAlgorithm(ABC):
         #: :meth:`apply_population_event`.
         self._eligible: set[int] | None = None
         self._ran = False
+        #: called as ``on_checkpoint(completed_round, path)`` after every
+        #: periodic checkpoint save (the crash-injection harness hooks
+        #: its SIGKILL here); ``None`` disables the callback
+        self.on_checkpoint: Callable[[int, object], None] | None = None
+        #: free-form provenance stored in every checkpoint — the
+        #: experiments runner records the cell coordinates here so the
+        #: ``resume`` CLI can rebuild the run from the file alone
+        self.checkpoint_meta: dict = {}
+        #: run-configuration fingerprint, computed at ``run()`` entry
+        #: (before any joiner pool detaches) and embedded in checkpoints
+        self._fingerprint: dict = {}
 
     @property
     def model(self) -> Sequential:
@@ -426,6 +444,44 @@ class FederatedAlgorithm(ABC):
             else:
                 setattr(self, name, value)
 
+    # ------------------------------------------------------------------
+    # checkpoint state (:mod:`repro.fl.checkpoint`)
+    # ------------------------------------------------------------------
+    #: instance attributes that are engine infrastructure, not algorithm
+    #: state: a resumed run rebuilds them deterministically (or they are
+    #: captured through their own state sections), so the generic
+    #: ``checkpoint_state`` capture below excludes them.  Everything an
+    #: algorithm subclass adds to ``self`` — cluster maps, control
+    #: variates, per-client models, residual-carrying scalars — is
+    #: captured automatically.
+    _ENGINE_STATE_ATTRS = frozenset({
+        "fed", "config", "model_fn", "rngs", "seed",
+        "_model", "_model_replicas", "_owner_thread", "model_bytes",
+        "comm", "history", "_backend",
+        "codec", "network", "scheduler", "population",
+        "_eligible", "_ran",
+        "on_checkpoint", "checkpoint_meta", "_fingerprint",
+    })
+
+    def checkpoint_state(self) -> dict:
+        """Picklable snapshot of all algorithm-owned mutable state.
+
+        Generic by design: every attribute outside the engine's
+        infrastructure set is algorithm state (numpy arrays, dicts,
+        lists, scalars — all plain data by the execution contract), so
+        subclasses get checkpointing without writing capture code.
+        """
+        return {
+            k: v
+            for k, v in self.__dict__.items()
+            if k not in self._ENGINE_STATE_ATTRS
+        }
+
+    def load_checkpoint_state(self, state: dict) -> None:
+        """Install a :meth:`checkpoint_state` snapshot."""
+        for key, value in state.items():
+            setattr(self, key, value)
+
     def _map_clients(self, method: str, argslist: list[tuple]) -> list:
         """Run per-client tasks through the active backend (serial when no
         run is in progress, e.g. in tests that call hooks directly)."""
@@ -437,7 +493,7 @@ class FederatedAlgorithm(ABC):
     # ------------------------------------------------------------------
     # engine
     # ------------------------------------------------------------------
-    def run(self) -> History:
+    def run(self, resume_from: "str | Checkpoint | None" = None) -> History:
         """Execute the federation and return its history.
 
         ``run`` builds the run's population model, backend, wire layer,
@@ -464,17 +520,44 @@ class FederatedAlgorithm(ABC):
         wire-layer and population branch is skipped and the loop is
         bit-for-bit the seed behaviour.
 
+        Args:
+            resume_from: a checkpoint path or loaded
+                :class:`~repro.fl.checkpoint.Checkpoint` to resume.  The
+                engine builds the run exactly as a fresh one (the
+                deterministic parts — dataset, joiner pools, link draws —
+                re-derive from the seed), verifies the checkpoint's
+                configuration fingerprint, installs the saved state,
+                skips round-0 ``setup`` (it already ran), and continues
+                at the next round.  The resulting history is bit-for-bit
+                the unbroken run's (wall-clock ``seconds`` aside).
+
         Returns:
             The populated :class:`~repro.fl.history.History` (also available
             as ``self.history``).
 
         Raises:
             RuntimeError: if called more than once on the same instance.
+            ValueError: if ``resume_from`` is invalid, corrupt, or was
+                saved under a different run configuration (the message
+                names every mismatched field).
         """
         if self._ran:
             raise RuntimeError("run() may only be called once per instance")
         self._ran = True
         cfg = self.config
+        ckpt: Checkpoint | None = None
+        if resume_from is not None:
+            ckpt = (
+                resume_from
+                if isinstance(resume_from, Checkpoint)
+                else load_checkpoint(resume_from)
+            )
+        # fingerprint before the population detaches any joiner pool, so
+        # ``num_clients`` means the full federation on both sides of a
+        # crash/resume pair
+        self._fingerprint = run_fingerprint(self)
+        if ckpt is not None:
+            check_compatible(ckpt, self)
         # The population binds first: a joining model detaches its pool
         # here, so round-0 setup and the network/backend below only ever
         # see the initial roster (total size is passed for id-keyed
@@ -515,11 +598,17 @@ class FederatedAlgorithm(ABC):
                     "backend-equivalence contract; use backend='serial' for "
                     "this model"
                 )
+        resume_sched: dict | None = None
+        if ckpt is not None:
+            # install the saved state over the freshly-built components;
+            # ``setup`` is skipped below — its results live in the state
+            resume_sched = restore_checkpoint(self, ckpt)
         try:
-            t0 = time.perf_counter()
-            self.setup()
-            self.history.setup_seconds = time.perf_counter() - t0
-            self.scheduler.run(self)
+            if ckpt is None:
+                t0 = time.perf_counter()
+                self.setup()
+                self.history.setup_seconds = time.perf_counter() - t0
+            self.scheduler.run(self, resume=resume_sched)
         finally:
             self._backend.close()
             self._backend = None

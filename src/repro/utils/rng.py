@@ -14,7 +14,13 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["RngFactory", "as_generator", "spawn_generators"]
+__all__ = [
+    "RngFactory",
+    "as_generator",
+    "spawn_generators",
+    "generator_state",
+    "restore_generator",
+]
 
 
 def as_generator(seed: int | np.random.Generator | None) -> np.random.Generator:
@@ -34,6 +40,32 @@ def spawn_generators(seed: int | np.random.SeedSequence, n: int) -> list[np.rand
         raise ValueError(f"cannot spawn a negative number of generators: {n}")
     root = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
     return [np.random.default_rng(s) for s in root.spawn(n)]
+
+
+def generator_state(gen: np.random.Generator) -> dict:
+    """Snapshot a generator's exact position as a plain, picklable dict.
+
+    The dict is numpy's own ``bit_generator.state`` mapping (bit-generator
+    name plus integer state words), so a generator restored from it via
+    :func:`restore_generator` emits the identical draw sequence.
+    """
+    return gen.bit_generator.state
+
+
+def restore_generator(state: dict) -> np.random.Generator:
+    """Rebuild a generator from a :func:`generator_state` snapshot.
+
+    Raises:
+        ValueError: if the snapshot names a bit generator this numpy
+            build does not provide.
+    """
+    name = state.get("bit_generator") if isinstance(state, dict) else None
+    cls = getattr(np.random, str(name), None) if name else None
+    if cls is None:
+        raise ValueError(f"cannot restore unknown bit generator {name!r}")
+    bit_gen = cls()
+    bit_gen.state = state
+    return np.random.Generator(bit_gen)
 
 
 class RngFactory:

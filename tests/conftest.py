@@ -1,0 +1,23 @@
+"""Shared pytest fixtures for the suite (golden-capture comparison)."""
+
+from __future__ import annotations
+
+import pytest
+
+from golden import assert_matches_golden
+
+
+@pytest.fixture
+def golden_compare():
+    """Compare a finished run against a named case of a golden file.
+
+    Usage::
+
+        def test_x(golden_compare):
+            history = algo.run()
+            golden_compare("golden_registry.json", "my-case", algo, history)
+
+    Set ``REPRO_UPDATE_GOLDENS=1`` to regenerate the case instead of
+    comparing (then inspect the diff and commit it).
+    """
+    return assert_matches_golden

@@ -1,0 +1,65 @@
+"""Subprocess driver for the crash-injection checkpoint tests.
+
+Runs one experiments-runner cell with periodic checkpointing and kills
+its own process with ``SIGKILL`` — no cleanup, no atexit, exactly like a
+machine failure — the moment the checkpoint for the chosen round/flush
+boundary has been written.  The parent test then resumes from
+``<checkpoint_dir>/latest.ckpt`` and asserts the stitched history is
+bit-for-bit identical to an unbroken run.
+
+Usage (the test suite builds this invocation)::
+
+    python crash_driver.py '{"dataset": "cifar10", "method": "fedavg",
+        "setting": "label_skew_20", "seed": 0, "kill_at": 2,
+        "config_overrides": {"rounds": 4, "checkpoint_every": 1,
+                             "checkpoint_dir": "..."},
+        "fl_options": {"scheduler": "sync"}}'
+
+``kill_at`` names the completed-round (flush, for ``buffered``) count
+whose checkpoint triggers the kill.  If the run finishes without
+reaching it, the driver prints ``COMPLETED`` and exits 0, which the
+tests treat as a harness bug.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+
+
+def main() -> int:
+    spec = json.loads(sys.argv[1])
+
+    from repro.experiments.configs import SMOKE_SCALE
+    from repro.experiments.runner import build_cell
+
+    algo = build_cell(
+        spec["dataset"],
+        spec["method"],
+        spec["setting"],
+        SMOKE_SCALE,
+        seed=spec.get("seed", 0),
+        config_overrides=spec.get("config_overrides"),
+        extra_overrides=spec.get("extra_overrides"),
+        fl_options=spec.get("fl_options"),
+    )
+    kill_at = int(spec["kill_at"])
+
+    def die_after_checkpoint(round_idx: int, path: object) -> None:
+        print(f"checkpoint {round_idx}: {path}", flush=True)
+        if round_idx >= kill_at:
+            # SIGKILL cannot be caught: no finally blocks, no atexit, no
+            # buffered-file flushing — the checkpoint on disk is all a
+            # resume gets, exactly like a pulled plug.
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    algo.on_checkpoint = die_after_checkpoint
+    algo.run()
+    print("COMPLETED", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

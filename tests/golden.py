@@ -1,0 +1,132 @@
+"""Golden-capture helpers shared by the suite's equivalence tests.
+
+A *golden* is a pinned JSON capture of a finished run — per-round
+accuracy/loss/traffic plus a digest of the final per-client parameters —
+stored under ``tests/data/``.  Tests replay the same configuration and
+assert the run still reproduces the capture bit-for-bit (the engine's
+determinism contract), except ``sim_seconds`` which is compared at
+rtol 1e-12 because event-clock accumulation order differs legitimately
+between schedulers.
+
+Two halves:
+
+* :func:`canonical_history` — a run's ``History.as_dict()`` minus the
+  wall-clock fields, i.e. exactly the part of a history two runs can be
+  expected to agree on bit-for-bit.  The checkpoint/resume tests compare
+  whole resumed runs with it.
+* :func:`assert_matches_golden` — compare a finished algorithm + history
+  against one named case of a golden file.  Setting
+  ``REPRO_UPDATE_GOLDENS=1`` regenerates the case in place instead of
+  comparing (the capture workflow that previously lived in throwaway
+  scripts).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "DATA_DIR",
+    "SIM_SECONDS_RTOL",
+    "assert_matches_golden",
+    "canonical_history",
+    "capture_run",
+    "compare_capture",
+    "params_digest",
+]
+
+DATA_DIR = Path(__file__).parent / "data"
+
+#: ``History.as_dict`` keys that measure host wall-clock time and can
+#: therefore never be reproduced bit-for-bit.
+WALL_CLOCK_KEYS = ("seconds", "setup_seconds")
+
+#: golden keys compared with exact ``==``
+EXACT_KEYS = (
+    "accuracy", "train_loss", "cumulative_mb", "upload_bytes",
+    "download_bytes", "extras",
+)
+
+#: the virtual clock accumulates globally in the event schedulers while
+#: sync sums per-round maxima, so captures agree only to rounding
+SIM_SECONDS_RTOL = 1e-12
+
+
+def canonical_history(history) -> dict:
+    """``History.as_dict()`` minus wall-clock fields.
+
+    Everything left — round indices, accuracies, losses, metered
+    traffic, simulated seconds, per-round extras — is a deterministic
+    function of the run configuration, so two equivalent runs (e.g. a
+    crashed-and-resumed run vs. its unbroken twin) must agree on it
+    with plain ``==``.
+    """
+    d = history.as_dict()
+    for key in WALL_CLOCK_KEYS:
+        d.pop(key, None)
+    return d
+
+
+def params_digest(algo) -> str:
+    """SHA-256 over every client's final evaluation parameters."""
+    parts = [
+        algo.eval_params_for_client(c) for c in range(algo.fed.num_clients)
+    ]
+    return hashlib.sha256(np.concatenate(parts).tobytes()).hexdigest()
+
+
+def capture_run(algo, history) -> dict:
+    """The JSON-serializable golden capture of one finished run."""
+    d = canonical_history(history)
+    out = {key: d[key] for key in EXACT_KEYS + ("sim_seconds",)}
+    out["params_digest"] = params_digest(algo)
+    return out
+
+
+def compare_capture(golden: dict, got: dict, label: str = "run") -> None:
+    """Assert a fresh capture reproduces a pinned one.
+
+    Compares only the keys the pinned capture carries, so older goldens
+    stay valid when captures grow new fields.
+    """
+    for key in EXACT_KEYS:
+        if key in golden:
+            assert got[key] == golden[key], f"{label}.{key} diverged"
+    if "sim_seconds" in golden:
+        np.testing.assert_allclose(
+            got["sim_seconds"], golden["sim_seconds"],
+            rtol=SIM_SECONDS_RTOL, err_msg=f"{label}.sim_seconds diverged",
+        )
+    if "params_digest" in golden:
+        assert got["params_digest"] == golden["params_digest"], (
+            f"{label}.params_digest diverged"
+        )
+
+
+def assert_matches_golden(
+    golden_file: str, case: str, algo, history
+) -> None:
+    """Compare a finished run against ``tests/data/<golden_file>[case]``.
+
+    With ``REPRO_UPDATE_GOLDENS`` set in the environment, the case is
+    (re)captured into the file instead — run the affected tests once
+    with the flag, inspect the diff, and commit.
+    """
+    path = DATA_DIR / golden_file
+    got = capture_run(algo, history)
+    if os.environ.get("REPRO_UPDATE_GOLDENS", "").strip():
+        data = json.loads(path.read_text()) if path.exists() else {}
+        data[case] = got
+        path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        return
+    data = json.loads(path.read_text())
+    assert case in data, (
+        f"no golden case {case!r} in {path.name}; regenerate with "
+        f"REPRO_UPDATE_GOLDENS=1"
+    )
+    compare_capture(data[case], got, label=case)

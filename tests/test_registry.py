@@ -9,11 +9,6 @@ pre-refactor engine capture bit-for-bit.
 
 from __future__ import annotations
 
-import hashlib
-import json
-from pathlib import Path
-
-import numpy as np
 import pytest
 
 from repro.algorithms import ALGORITHMS, build_algorithm
@@ -34,8 +29,6 @@ from repro.fl.population import KNOWN_POP_KEYS, POPULATIONS, make_population
 from repro.fl.scheduler import KNOWN_SCHED_KEYS, SCHEDULERS, make_scheduler
 from repro.nn.models import mlp
 from repro.utils.rng import RngFactory
-
-GOLDEN_PATH = Path(__file__).parent / "data" / "golden_registry.json"
 
 #: family name → (make factory keyword, factory)
 FACTORIES = {
@@ -426,9 +419,11 @@ class TestGoldenEquivalence:
 
     The capture (tests/data/golden_registry.json) was generated on the
     pre-registry engine (see CHANGES.md PR 4): small federations across
-    algorithms, backends, codecs, networks, and schedulers.  Everything
-    must match exactly except ``sim_seconds`` (rtol 1e-12: an event
-    clock accumulates globally, sync sums per-round maxima).
+    algorithms, backends, codecs, networks, and schedulers.  Comparison
+    semantics live in ``tests/golden.py`` (exact equality everywhere
+    except ``sim_seconds`` at rtol 1e-12: an event clock accumulates
+    globally, sync sums per-round maxima); ``REPRO_UPDATE_GOLDENS=1``
+    regenerates the capture through the same helper.
     """
 
     CASES = {
@@ -444,6 +439,22 @@ class TestGoldenEquivalence:
                  staleness_alpha=0.5),
             dict(),
         ),
+        "fedavg-dropout": ("fedavg", dict(dropout_rate=0.25), dict()),
+        "fedavg-int8-hetero": (
+            "fedavg", dict(codec="int8", network="hetero"), dict(),
+        ),
+        "fedavg-semisync-stragglers": (
+            "fedavg",
+            dict(scheduler="semisync", network="stragglers",
+                 over_select_frac=0.5),
+            dict(),
+        ),
+        "ifca-flaky": ("ifca", dict(network="flaky"), dict(num_clusters=2)),
+        "fedclust-topk-stragglers-deadline": (
+            "fedclust",
+            dict(codec="topk", network="stragglers", deadline=40.0),
+            dict(lam="auto"),
+        ),
     }
 
     @staticmethod
@@ -454,17 +465,8 @@ class TestGoldenEquivalence:
             num_label_sets=3,
         )
 
-    @staticmethod
-    def _digest(algo) -> str:
-        parts = [
-            algo.eval_params_for_client(c)
-            for c in range(algo.fed.num_clients)
-        ]
-        return hashlib.sha256(np.concatenate(parts).tobytes()).hexdigest()
-
     @pytest.mark.parametrize("case", sorted(CASES))
-    def test_matches_pre_refactor_capture(self, case):
-        golden = json.loads(GOLDEN_PATH.read_text())[case]
+    def test_matches_pre_refactor_capture(self, case, golden_compare):
         method, cfg_kw, extra = self.CASES[case]
         fed = self._fed()
         cfg = FLConfig(
@@ -477,11 +479,4 @@ class TestGoldenEquivalence:
 
         algo = build_algorithm(method, fed, model_fn, cfg, seed=0)
         history = algo.run()
-        d = history.as_dict()
-        for key in ("accuracy", "train_loss", "cumulative_mb",
-                    "upload_bytes", "download_bytes", "extras"):
-            assert d[key] == golden[key], f"{case}.{key} diverged"
-        np.testing.assert_allclose(
-            d["sim_seconds"], golden["sim_seconds"], rtol=1e-12
-        )
-        assert self._digest(algo) == golden["params_digest"]
+        golden_compare("golden_registry.json", case, algo, history)
