@@ -1,0 +1,25 @@
+"""Shared helpers for the bench scripts' machine-readable outputs.
+
+Every ``bench_*.py`` emits its result row twice: the human-readable
+``benchmarks/out/<name>.txt`` (unchanged) and a JSON record written
+through :func:`write_bench_json` — ``benchmarks/out/BENCH_<n>.json`` for
+the numbered per-PR perf-trajectory files the ROADMAP asks for
+(comparable across commits; CI uploads them as artifacts), or any other
+stable name for per-bench rows.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def write_bench_json(row: dict, name: str) -> Path:
+    """Write one bench row as ``benchmarks/out/<name>.json`` and return
+    the path.  Keys are sorted so diffs between commits stay readable."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{name}.json"
+    path.write_text(json.dumps(row, indent=2, sort_keys=True) + "\n")
+    return path

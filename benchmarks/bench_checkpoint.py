@@ -24,7 +24,6 @@ Runs standalone too (CI smoke)::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import shutil
 import sys
@@ -32,6 +31,7 @@ import tempfile
 import time
 from pathlib import Path
 
+from _bench_util import write_bench_json
 from repro.experiments import BENCH_SCALE, SMOKE_SCALE
 from repro.experiments.runner import build_cell
 from repro.fl.checkpoint import load_checkpoint, save_checkpoint
@@ -157,11 +157,7 @@ def check(row: dict) -> None:
 
 
 def _save_json(row: dict) -> Path:
-    out_dir = Path(__file__).parent / "out"
-    out_dir.mkdir(exist_ok=True)
-    path = out_dir / "BENCH_6.json"
-    path.write_text(json.dumps(row, indent=2, sort_keys=True) + "\n")
-    return path
+    return write_bench_json(row, "BENCH_6")
 
 
 def test_checkpoint_overhead(benchmark, save_artifact):

@@ -23,6 +23,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from _bench_util import write_bench_json
 from repro.experiments import BENCH_SCALE, SMOKE_SCALE
 from repro.experiments.runner import run_cell
 from repro.fl.comm import MB
@@ -138,8 +139,9 @@ def main(argv: list[str] | None = None) -> int:
     name = "codecs_smoke" if args.smoke else "codecs_tradeoff"
     path = out_dir / f"{name}.txt"
     path.write_text(text + "\n")
+    json_path = write_bench_json({"bench": "codecs", "rows": rows}, name)
     print(text)
-    print(f"[saved to {path}]")
+    print(f"[saved to {path} and {json_path}]")
     check_reductions(rows)
     return 0
 

@@ -31,6 +31,7 @@ from pathlib import Path
 
 import numpy as np
 
+from _bench_util import write_bench_json
 from repro.experiments import BENCH_SCALE, SMOKE_SCALE
 from repro.experiments.runner import run_cell
 
@@ -149,8 +150,9 @@ def main(argv: list[str] | None = None) -> int:
     out_dir.mkdir(exist_ok=True)
     path = out_dir / f"{name}.txt"
     path.write_text(text + "\n")
+    json_path = write_bench_json({"bench": "population", "rows": rows}, name)
     print(text)
-    print(f"[saved to {path}]")
+    print(f"[saved to {path} and {json_path}]")
     check(rows)
     return 0
 

@@ -27,6 +27,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from _bench_util import write_bench_json
 from repro.experiments import BENCH_SCALE, SMOKE_SCALE
 from repro.experiments.runner import run_cell
 
@@ -188,8 +189,10 @@ def main(argv: list[str] | None = None) -> int:
     name = "scheduler_smoke" if args.smoke else "scheduler_tradeoff"
     path = out_dir / f"{name}.txt"
     path.write_text(text + "\n")
+    json_rows = [{k: v for k, v in r.items() if k != "history"} for r in rows]
+    json_path = write_bench_json({"bench": "scheduler", "rows": json_rows}, name)
     print(text)
-    print(f"[saved to {path}]")
+    print(f"[saved to {path} and {json_path}]")
     check_wins(rows)
     return 0
 

@@ -1,0 +1,236 @@
+"""Telemetry benchmark: observation overhead and replay equivalence.
+
+Measures the observability subsystem (:mod:`repro.fl.telemetry`) on the
+execution-bench cell (CIFAR-10 / FedAvg, label skew):
+
+* **disabled-mode overhead** — telemetry off is the default, so its cost
+  must be invisible.  The engine's instrumentation sites call through a
+  shared no-op object; the bench microbenches that no-op dispatch,
+  multiplies by the number of telemetry calls an identical enabled run
+  makes (a conservative upper bound on the disabled run's call count),
+  and gates the estimated fraction of the plain run's wall-clock at
+  <2%.  The estimate is used instead of differencing two timed runs
+  because at CI scale the real overhead (microseconds) drowns in
+  run-to-run timer noise.
+* **enabled-mode overhead** — the same cell run with ``telemetry=on``
+  writing all three artifacts (events.jsonl, metrics.json, trace.json);
+  gated at <10% of the plain run when the plain run is long enough for
+  the fraction to be meaningful (>= 1s, mirroring ``bench_checkpoint``).
+* **equivalence gates** — the enabled run's history must equal the
+  disabled run's bit-for-bit (everything except host wall-clock, modulo
+  the added ``extras["metrics"]`` snapshots), and
+  :func:`~repro.fl.telemetry.replay_history` must reconstruct the full
+  history from the JSONL event log alone.
+
+Results are emitted as ``benchmarks/out/BENCH_7.json`` (the perf
+trajectory's PR-7 record), and the enabled run's telemetry artifacts are
+kept under ``benchmarks/out/telemetry_run/`` for the CI artifact upload.
+
+Runs standalone too (CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+import timeit
+from pathlib import Path
+
+from _bench_util import OUT_DIR, write_bench_json
+from repro.experiments import BENCH_SCALE, SMOKE_SCALE
+from repro.experiments.runner import build_cell
+from repro.fl.telemetry import NULL_TELEMETRY, load_events, replay_history
+
+DATASET = "cifar10"
+METHOD = "fedavg"
+SETTING = "label_skew_20"
+ROUNDS = {"smoke": 4, "bench": 8}
+#: estimated no-op dispatch cost of a disabled run, as a fraction of the
+#: plain run's wall-clock
+MAX_DISABLED_OVERHEAD_FRAC = 0.02
+#: full tracing + metrics + event log, vs the plain run
+MAX_ENABLED_OVERHEAD_FRAC = 0.10
+NOOP_MICROBENCH_CALLS = 20_000
+
+
+def _canonical(history) -> dict:
+    """Wall-clock-free, metrics-free history (the off-vs-on comparand)."""
+    d = history.as_dict()
+    d.pop("seconds", None)
+    d.pop("setup_seconds", None)
+    d["extras"] = [
+        {k: v for k, v in extras.items() if k != "metrics"}
+        for extras in d["extras"]
+    ]
+    return d
+
+
+def _run(scale, rounds, telemetry="off", tele_dir=None):
+    overrides = {"rounds": rounds, "telemetry": telemetry}
+    extra = {"tele_dir": str(tele_dir)} if tele_dir is not None else None
+    algo = build_cell(
+        DATASET, METHOD, SETTING, scale, seed=0,
+        config_overrides=overrides, extra_overrides=extra,
+    )
+    t0 = time.perf_counter()
+    history = algo.run()
+    return time.perf_counter() - t0, history, algo
+
+
+def _noop_call_seconds() -> float:
+    """Mean cost of one disabled-telemetry call (span + count, averaged)."""
+    tele = NULL_TELEMETRY
+    n = NOOP_MICROBENCH_CALLS
+
+    def spans():
+        for _ in range(n):
+            with tele.span("x", client=1):
+                pass
+
+    def counts():
+        for _ in range(n):
+            tele.count("x", 1)
+
+    # one warmup + best-of-3 per shape, averaged across both call shapes
+    per_shape = []
+    for fn in (spans, counts):
+        fn()
+        per_shape.append(min(timeit.repeat(fn, number=1, repeat=3)) / n)
+    return sum(per_shape) / len(per_shape)
+
+
+def run_study(smoke: bool) -> dict:
+    scale = SMOKE_SCALE if smoke else BENCH_SCALE
+    rounds = ROUNDS["smoke" if smoke else "bench"]
+    tmp = Path(tempfile.mkdtemp(prefix="bench_tele_"))
+    keep_dir = OUT_DIR / "telemetry_run"
+    try:
+        off_s, off_hist, _ = _run(scale, rounds)
+        on_s, on_hist, on_algo = _run(
+            scale, rounds, telemetry="on", tele_dir=tmp / "run"
+        )
+
+        # equivalence gate 1: observation never changes the trajectory
+        perturbed = _canonical(on_hist) != _canonical(off_hist)
+        assert not perturbed, "telemetry perturbed the run"
+        metrics_present = all(
+            "metrics" in r.extras for r in on_hist.records
+        )
+        assert metrics_present, "enabled run missing metrics snapshots"
+
+        # equivalence gate 2: the JSONL event log alone rebuilds the
+        # full history bit-for-bit (wall-clock seconds included — they
+        # are replayed from the log, not re-measured)
+        events = load_events(tmp / "run" / "events.jsonl")
+        replay_ok = (
+            replay_history(events).as_dict()
+            == json.loads(json.dumps(on_hist.as_dict()))
+        )
+        assert replay_ok, "replay_history diverged from the live history"
+
+        # disabled-mode overhead: no-op dispatch cost x enabled-run call
+        # count (>= the disabled run's count: a few emits are reached
+        # only when enabled), as a fraction of the plain run
+        noop_s = _noop_call_seconds()
+        tele_calls = int(on_algo.telemetry.ops)
+        disabled_frac = noop_s * tele_calls / off_s if off_s else 0.0
+
+        # keep the enabled run's artifacts for the CI upload
+        if keep_dir.exists():
+            shutil.rmtree(keep_dir)
+        OUT_DIR.mkdir(exist_ok=True)
+        shutil.copytree(tmp / "run", keep_dir)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    return {
+        "bench": "telemetry",
+        "scale": scale.name,
+        "cell": f"{DATASET}/{METHOD}/{SETTING}",
+        "rounds": rounds,
+        "cpu_count": os.cpu_count(),
+        "run_seconds_plain": round(off_s, 4),
+        "run_seconds_telemetry_on": round(on_s, 4),
+        "telemetry_calls": tele_calls,
+        "events": len(events),
+        "spans": len(on_algo.telemetry.spans),
+        "noop_call_nanos": round(noop_s * 1e9, 1),
+        "disabled_overhead_frac": round(disabled_frac, 6),
+        "enabled_overhead_frac": round(max(0.0, on_s / off_s - 1.0), 4),
+        "replay_bitwise_equal": replay_ok,
+        "history_unperturbed": not perturbed,
+    }
+
+
+def render(row: dict) -> str:
+    return "\n".join([
+        f"Telemetry — overhead and replay equivalence ({row['scale']} "
+        f"scale, {row['cell']}, {row['rounds']} rounds)",
+        "",
+        f"plain run (telemetry off)   {row['run_seconds_plain']:>9.2f}s",
+        f"telemetry on (all sinks)    {row['run_seconds_telemetry_on']:>9.2f}s"
+        f"  (+{100 * row['enabled_overhead_frac']:.1f}%)",
+        f"telemetry calls per run     {row['telemetry_calls']:>9d}  "
+        f"({row['events']} events, {row['spans']} spans)",
+        f"disabled no-op dispatch     {row['noop_call_nanos']:>8.0f}ns  "
+        f"-> {100 * row['disabled_overhead_frac']:.4f}% of the plain run",
+        f"replay from event log bit-identical: {row['replay_bitwise_equal']}",
+        f"history unperturbed by observation:  {row['history_unperturbed']}",
+    ])
+
+
+def check(row: dict) -> None:
+    assert row["replay_bitwise_equal"], "replay equivalence gate failed"
+    assert row["history_unperturbed"], "telemetry perturbed the run"
+    assert row["disabled_overhead_frac"] <= MAX_DISABLED_OVERHEAD_FRAC, (
+        f"disabled-mode telemetry costs an estimated "
+        f"{100 * row['disabled_overhead_frac']:.3f}% of the plain run "
+        f"(gate: {100 * MAX_DISABLED_OVERHEAD_FRAC:.0f}%)"
+    )
+    if row["run_seconds_plain"] < 1.0:
+        # sub-second smoke runs put the enabled fraction inside timer
+        # noise; that gate is meaningful at bench scale only
+        return
+    assert row["enabled_overhead_frac"] <= MAX_ENABLED_OVERHEAD_FRAC, (
+        f"enabled telemetry cost {100 * row['enabled_overhead_frac']:.1f}% "
+        f"of the plain run (gate: {100 * MAX_ENABLED_OVERHEAD_FRAC:.0f}%)"
+    )
+
+
+def test_telemetry_overhead(benchmark, save_artifact):
+    from conftest import run_once
+
+    row = run_once(benchmark, lambda: run_study(smoke=False))
+    save_artifact("telemetry_overhead", render(row))
+    write_bench_json(row, "BENCH_7")
+    check(row)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny configuration for CI (seconds instead of minutes)",
+    )
+    args = parser.parse_args(argv)
+    row = run_study(args.smoke)
+    text = render(row)
+    OUT_DIR.mkdir(exist_ok=True)
+    name = "telemetry_smoke" if args.smoke else "telemetry_overhead"
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    path = write_bench_json(row, "BENCH_7")
+    print(text)
+    print(f"[saved to {OUT_DIR / (name + '.txt')} and {path}]")
+    check(row)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

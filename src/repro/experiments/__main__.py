@@ -12,6 +12,8 @@ Usage::
     python -m repro.experiments components     # list every registered component
     python -m repro.experiments components --check-docs   # CI drift gate
     python -m repro.experiments resume --checkpoint checkpoints/latest.ckpt
+    python -m repro.experiments table1 --telemetry on --telemetry-dir runs/t1
+    python -m repro.experiments trace runs/t1  # inspect a telemetry run dir
 
 Artifacts print to stdout in the paper's row format.  The engine flags
 (``--backend``, ``--codec``, ``--network``, ``--scheduler``, and their
@@ -33,6 +35,7 @@ step), and ``--write-docs`` regenerates them.
 from __future__ import annotations
 
 import argparse
+import logging
 import os
 import sys
 
@@ -73,7 +76,27 @@ ARTIFACTS = [
     "figure1", "table1", "table2", "table3", "figure3",
     "table4", "table5", "figure4", "table6", "population",
 ]
-COMMANDS = ARTIFACTS + ["all", "components", "resume"]
+COMMANDS = ARTIFACTS + ["all", "components", "resume", "trace"]
+
+logger = logging.getLogger("repro.experiments")
+
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+def _setup_logging(level: str) -> None:
+    """Root-logger config for the CLI: stderr, ``LEVEL name: message``.
+
+    ``force=True`` so repeated programmatic ``main()`` calls (tests, the
+    ``all`` artifact loop) reconfigure cleanly instead of stacking
+    handlers.  Artifact rows still go to stdout via ``print`` — logging
+    is the progress/diagnostics channel, never the data channel.
+    """
+    logging.basicConfig(
+        level=getattr(logging, level.upper()),
+        stream=sys.stderr,
+        format="%(levelname)s %(name)s: %(message)s",
+        force=True,
+    )
 
 
 def run_artifact(name: str, scale, seeds, datasets) -> str:
@@ -263,10 +286,25 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate the FedClust paper's tables and figures.",
     )
     parser.add_argument("artifact", choices=COMMANDS)
+    parser.add_argument(
+        "target", nargs="?", default=None,
+        help="for `trace`: a telemetry run directory (--telemetry-dir) "
+             "or an events.jsonl file",
+    )
     parser.add_argument("--scale", choices=sorted(SCALES), default="bench")
     parser.add_argument("--seeds", type=int, nargs="+", default=[0])
     parser.add_argument("--dataset", choices=DATASETS, action="append",
                         help="restrict to specific datasets (repeatable)")
+    parser.add_argument(
+        "--log-level", choices=LOG_LEVELS,
+        default=os.environ.get("REPRO_LOG_LEVEL", "info").lower(),
+        help="logging verbosity on stderr (or REPRO_LOG_LEVEL; artifact "
+             "rows always print to stdout)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="shorthand for --log-level error",
+    )
     _add_registry_flags(parser)
     resume_group = parser.add_argument_group("resume subcommand")
     resume_group.add_argument(
@@ -285,9 +323,17 @@ def main(argv: list[str] | None = None) -> int:
                        help="regenerate the README/docs flag tables "
                             "in place")
     args = parser.parse_args(argv)
+    _setup_logging("error" if args.quiet else args.log_level)
 
     if args.artifact == "components":
         return _run_components(args)
+    if args.artifact == "trace":
+        if args.target is None:
+            parser.error("trace requires a run directory or events.jsonl path")
+        return _run_trace(args.target)
+    if args.target is not None:
+        parser.error(f"unexpected argument {args.target!r} "
+                     f"(only `trace` takes a target)")
     if args.artifact == "resume" and args.checkpoint is None:
         parser.error("resume requires --checkpoint PATH")
 
@@ -317,6 +363,18 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _run_trace(target: str) -> int:
+    """Inspect a telemetry run directory (or bare events.jsonl file)."""
+    from repro.experiments.trace_view import inspect_run
+
+    try:
+        print(inspect_run(target))
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _run_resume(path: str) -> int:
     """Resume a checkpointed experiment cell and print its summary."""
     from repro.experiments.runner import resume_cell
@@ -327,7 +385,10 @@ def _run_resume(path: str) -> int:
     label = "/".join(
         str(meta[k]) for k in ("dataset", "method", "setting") if k in meta
     )
-    print(f"resuming {label or 'checkpoint'} from round {ckpt.round}: {path}")
+    logger.info(
+        "resuming %s from round %d: %s", label or "checkpoint", ckpt.round,
+        path,
+    )
     result = resume_cell(ckpt)
     hist = result.history
     print(

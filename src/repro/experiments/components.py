@@ -31,7 +31,9 @@ __all__ = [
 
 #: families the experiments CLI exposes as flags (algorithms are selected
 #: per cell by the artifact runners, not via a global flag)
-CLI_FAMILIES = ("backend", "codec", "network", "scheduler", "population")
+CLI_FAMILIES = (
+    "backend", "codec", "network", "scheduler", "population", "telemetry",
+)
 
 #: files carrying a generated flag-table block, relative to the repo root
 DOC_FILES = ("README.md", "docs/architecture.md")

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import logging
 from dataclasses import asdict, dataclass
 
 import numpy as np
@@ -17,6 +18,8 @@ from repro.fl import registry
 from repro.fl.history import History
 
 __all__ = ["CellResult", "build_cell", "run_cell", "run_methods", "resume_cell"]
+
+logger = logging.getLogger("repro.experiments")
 
 
 @dataclass
@@ -147,7 +150,17 @@ def run_cell(
         config_overrides=config_overrides, extra_overrides=extra_overrides,
         fl_options=fl_options, **legacy_options,
     )
+    logger.debug(
+        "running cell %s/%s/%s seed=%d rounds=%d%s",
+        dataset, method, setting, seed, algo.config.rounds,
+        "" if resume_from is None else " (resumed)",
+    )
     history = algo.run(resume_from=resume_from)
+    logger.info(
+        "cell %s/%s/%s seed=%d done: %d rounds, final accuracy %.4f",
+        dataset, method, setting, seed, len(history.records),
+        history.final_accuracy(),
+    )
     return CellResult(dataset, method, setting, seed, history, algo)
 
 

@@ -1,0 +1,138 @@
+"""Inspect a telemetry run directory: ``python -m repro.experiments trace``.
+
+Renders a human-readable digest of the artifacts a telemetry-enabled run
+(``--telemetry on --telemetry-dir DIR``) writes:
+
+* ``events.jsonl`` — the replayable typed event log (always required;
+  a bare path to one is also accepted).  The digest reconstructs the
+  run's :class:`~repro.fl.history.History` from it via
+  :func:`repro.fl.telemetry.replay_history` — the same reconstruction
+  the equivalence tests prove bit-identical — so the records table below
+  is *derived from events alone*, demonstrating the log is sufficient.
+* ``metrics.json`` — cumulative counters/gauges/histograms and the
+  wall-clock per-phase breakdown (optional; skipped when absent).
+* ``trace.json`` — the Chrome-trace-event file; the digest just points
+  at it with viewer instructions.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.fl.telemetry import load_events, replay_history
+
+__all__ = ["inspect_run"]
+
+
+def _fmt_rows(rows: list[list[str]], header: list[str]) -> list[str]:
+    widths = [
+        max(len(r[i]) for r in [header] + rows) for i in range(len(header))
+    ]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip()]
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return lines
+
+
+def inspect_run(target: str | Path) -> str:
+    """The ``trace`` subcommand's report for one run directory/event log."""
+    target = Path(target)
+    if target.is_dir():
+        run_dir = target
+        events_path = target / "events.jsonl"
+    else:
+        run_dir = target.parent
+        events_path = target
+    if not events_path.exists():
+        raise ValueError(
+            f"no event log at {events_path} — run with --telemetry on and "
+            f"--telemetry-dir (or --events-out) to produce one"
+        )
+
+    events = load_events(events_path)
+    hist = replay_history(events)
+    census = Counter(e.get("type", "?") for e in events)
+    start = next((e for e in events if e.get("type") == "run_start"), {})
+    ended = any(e.get("type") == "run_end" for e in events)
+
+    out: list[str] = []
+    label = " ".join(
+        str(start[k]) for k in ("algorithm", "dataset") if start.get(k)
+    )
+    out.append(f"run: {label or 'unknown'}  ({events_path})")
+    bits = []
+    if start.get("num_clients") is not None:
+        bits.append(f"{start['num_clients']} clients")
+    if start.get("seed") is not None:
+        bits.append(f"seed {start['seed']}")
+    if start.get("resumed_from") is not None:
+        bits.append(f"resumed from round {start['resumed_from']}")
+    bits.append(f"{len(events)} events")
+    if not ended:
+        bits.append("run did not finish (no run_end)")
+    out.append("  " + ", ".join(bits))
+    out.append("")
+
+    if hist.records:
+        out.append("records (replayed from the event log alone):")
+        rows = [
+            [
+                str(r.round), f"{r.accuracy:.4f}", f"{r.train_loss:.4f}",
+                f"{r.cumulative_mb:.3f}", f"{r.sim_seconds:.1f}",
+            ]
+            for r in hist.records
+        ]
+        out.extend(
+            "  " + line for line in _fmt_rows(
+                rows, ["round", "accuracy", "loss", "Mb", "sim_s"]
+            )
+        )
+    else:
+        out.append("records: none (log has no record events)")
+    out.append("")
+
+    out.append("event census:")
+    for kind, n in sorted(census.items()):
+        out.append(f"  {kind:<16} {n}")
+
+    metrics_path = run_dir / "metrics.json"
+    if metrics_path.exists():
+        metrics = json.loads(metrics_path.read_text())
+        counters = metrics.get("totals", {}).get("counters", {})
+        if counters:
+            out.append("")
+            out.append("counters (run totals):")
+            for name, value in sorted(counters.items()):
+                out.append(f"  {name:<20} {value}")
+        hists = metrics.get("totals", {}).get("histograms", {})
+        if hists:
+            out.append("")
+            out.append("distributions:")
+            for name, s in sorted(hists.items()):
+                out.append(
+                    f"  {name:<20} n={s['count']}  mean={s['mean']:.2f}  "
+                    f"min={s['min']:g}  max={s['max']:g}"
+                )
+        phases = metrics.get("phase_seconds", {})
+        if phases:
+            total = sum(phases.values())
+            out.append("")
+            out.append("wall-clock by phase:")
+            for name, secs in sorted(
+                phases.items(), key=lambda kv: -kv[1]
+            ):
+                pct = 100.0 * secs / total if total else 0.0
+                out.append(f"  {name:<12} {secs:>9.3f}s  {pct:5.1f}%")
+
+    trace_path = run_dir / "trace.json"
+    if trace_path.exists():
+        out.append("")
+        out.append(
+            f"trace: {trace_path} — open in chrome://tracing or "
+            f"https://ui.perfetto.dev (wall clock = process 1, virtual "
+            f"clock = process 2, one lane per client)"
+        )
+    return "\n".join(out)

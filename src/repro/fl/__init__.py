@@ -2,7 +2,7 @@
 and the simulated wire (codecs + network models).
 
 Pluggable pieces (backends, codecs, networks, schedulers, populations,
-algorithms) are declared once in the component registry
+telemetry, algorithms) are declared once in the component registry
 (:mod:`repro.fl.registry`).
 """
 
@@ -74,6 +74,15 @@ from repro.fl.server import (
     average_states,
     weighted_average,
 )
+from repro.fl.telemetry import (
+    NULL_TELEMETRY,
+    MetricsRegistry,
+    NullTelemetry,
+    Telemetry,
+    load_events,
+    make_telemetry,
+    replay_history,
+)
 from repro.fl.training import evaluate_accuracy, evaluate_loss, local_sgd, minibatches
 
 __all__ = [
@@ -134,6 +143,13 @@ __all__ = [
     "ClientUpdate",
     "weighted_average",
     "average_states",
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "MetricsRegistry",
+    "make_telemetry",
+    "replay_history",
+    "load_events",
     "local_sgd",
     "evaluate_accuracy",
     "evaluate_loss",

@@ -48,6 +48,7 @@ are excluded too — the save cadence must not pin the resumed run's.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 import struct
@@ -59,6 +60,8 @@ from repro.fl import registry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.fl.server import FederatedAlgorithm
+
+logger = logging.getLogger("repro.checkpoint")
 
 __all__ = [
     "FORMAT_VERSION",
@@ -229,8 +232,12 @@ def run_fingerprint(algo: "FederatedAlgorithm") -> dict:
         }
     # algorithm knobs (prox_mu, ifca_k, clust_*...); prefix-namespaced
     # component knobs reappear here alongside the resolved options above,
-    # which is harmless for an equality check
-    fp["extra"] = dict(cfg.extra)
+    # which is harmless for an equality check.  Telemetry knobs are
+    # excluded: observation never changes the trajectory, so a run
+    # checkpointed without telemetry may resume with it (and vice versa)
+    fp["extra"] = {
+        k: v for k, v in cfg.extra.items() if not k.startswith("tele_")
+    }
     return fp
 
 
@@ -368,12 +375,24 @@ class Checkpointer:
 
     def save(self, algo: "FederatedAlgorithm", scheduler_state: dict) -> Path:
         """Capture and write one checkpoint; returns the round file's path."""
-        ckpt = capture(algo, scheduler_state)
-        blob = checkpoint_bytes(ckpt)
-        self.directory.mkdir(parents=True, exist_ok=True)
-        path = self.directory / f"round-{ckpt.round:06d}.ckpt"
-        _write_atomic(path, blob)
-        _write_atomic(self.directory / "latest.ckpt", blob)
+        tele = algo.telemetry
+        with tele.span(
+            "checkpoint", cat="checkpoint", round=int(scheduler_state["round"])
+        ):
+            ckpt = capture(algo, scheduler_state)
+            blob = checkpoint_bytes(ckpt)
+            self.directory.mkdir(parents=True, exist_ok=True)
+            path = self.directory / f"round-{ckpt.round:06d}.ckpt"
+            _write_atomic(path, blob)
+            _write_atomic(self.directory / "latest.ckpt", blob)
+        tele.emit(
+            "checkpoint", round=int(ckpt.round), path=str(path),
+            bytes=len(blob),
+        )
+        logger.info(
+            "checkpoint saved: round %d -> %s (%d bytes)",
+            ckpt.round, path, len(blob),
+        )
         self._prune()
         return path
 
@@ -384,6 +403,7 @@ class Checkpointer:
         for stale in rounds[: -self.keep]:
             try:
                 stale.unlink()
+                logger.debug("checkpoint pruned: %s", stale)
             except OSError:  # pragma: no cover - racing cleanup is fine
                 pass
 

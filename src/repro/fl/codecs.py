@@ -54,6 +54,7 @@ import numpy as np
 
 from repro.fl import registry
 from repro.fl.registry import opt, register
+from repro.fl.telemetry import NULL_TELEMETRY
 
 __all__ = [
     "Encoded",
@@ -96,6 +97,9 @@ class Codec(ABC):
 
     #: registry name; subclasses set this
     name: str = "base"
+    #: the run's telemetry sink (the engine swaps in its own at run
+    #: start); :meth:`traced_encode`/:meth:`traced_decode` span through it
+    telemetry = NULL_TELEMETRY
 
     @abstractmethod
     def encode(
@@ -116,6 +120,25 @@ class Codec(ABC):
     @abstractmethod
     def decode(self, encoded: Encoded) -> np.ndarray:
         """Reconstruct the float64 delta the server receives."""
+
+    def traced_encode(
+        self, client_id: int, delta: np.ndarray, rng: np.random.Generator
+    ) -> Encoded:
+        """:meth:`encode` inside a telemetry ``encode`` span."""
+        with self.telemetry.span(
+            "encode", cat="codec", codec=self.name, client=int(client_id)
+        ):
+            return self.encode(client_id, delta, rng)
+
+    def traced_decode(
+        self, encoded: Encoded, client_id: int | None = None
+    ) -> np.ndarray:
+        """:meth:`decode` inside a telemetry ``decode`` span."""
+        with self.telemetry.span(
+            "decode", cat="codec", codec=self.name,
+            client=None if client_id is None else int(client_id),
+        ):
+            return self.decode(encoded)
 
     def encoded_nbytes(
         self, client_id: int, delta: np.ndarray, rng: np.random.Generator

@@ -93,6 +93,15 @@ class FLConfig:
     #: ``"auto"`` (resolve from ``REPRO_POPULATION``, defaulting to
     #: static), or an inline spec (``"churn:session=20,gap=5"``)
     population: str = "auto"
+    #: run observability (:mod:`repro.fl.telemetry`): ``"off"`` (the
+    #: default — a shared no-op sink), ``"on"`` (span tracer + metrics
+    #: registry + replayable event log; per-record metric deltas land in
+    #: ``RoundRecord.extras["metrics"]``), ``"auto"`` (resolve from
+    #: ``REPRO_TELEMETRY``, defaulting to off), or an inline spec
+    #: (``"on:progress=1"``).  Paths (``tele_dir``/``tele_*_out``) go in
+    #: ``extra`` or the ``REPRO_TELEMETRY_*`` env vars.  Never affects
+    #: results, and is excluded from the checkpoint fingerprint.
+    telemetry: str = "auto"
     #: save a resumable checkpoint (:mod:`repro.fl.checkpoint`) every N
     #: completed rounds (flushes, for ``buffered``).  ``None`` disables
     #: checkpointing (``REPRO_CHECKPOINT_EVERY`` can still enable it

@@ -173,9 +173,11 @@ class ExecutionBackend(ABC):
         client_ids: Iterable[int],
     ) -> list["ClientUpdate"]:
         """Run ``client_update`` for every id in ``client_ids`` (in order)."""
-        return self.map(
-            algorithm, "client_update", [(int(c), round_idx) for c in client_ids]
-        )
+        tasks = [(int(c), round_idx) for c in client_ids]
+        with algorithm.telemetry.span(
+            "execute", cat="backend", backend=self.name, clients=len(tasks)
+        ):
+            return self.map(algorithm, "client_update", tasks)
 
     def close(self) -> None:
         """Release pool resources.  Idempotent; called by the engine when a

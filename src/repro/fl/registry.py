@@ -290,6 +290,23 @@ _declare(
     example="churn:session=20,gap=5",
 )
 _declare(
+    name="telemetry",
+    label="telemetry sink",
+    field="telemetry",
+    env="REPRO_TELEMETRY",
+    default="off",
+    prefix="tele_",
+    module="repro.fl.telemetry",
+    doc=(
+        "run observability: `on` records wall/virtual-clock spans, a "
+        "metrics registry snapshotted into every RoundRecord, and a "
+        "replayable typed event log (JSONL + Chrome-trace export); "
+        "`off` (the default) is a shared no-op object — observation "
+        "never changes results"
+    ),
+    example="on:progress=1",
+)
+_declare(
     name="algorithm",
     label="algorithm",
     field=None,

@@ -193,20 +193,26 @@ class _Spans(object):
             extras["events"] = list(self.events)
         if self.pop_events:
             extras["population"] = list(self.pop_events)
+        tele = algo.telemetry
+        if tele.enabled:
+            # deterministic per-record metric deltas (bytes, event
+            # counts, virtual-clock staleness — never wall clocks), so
+            # telemetry-enabled histories stay bit-for-bit reproducible
+            extras["metrics"] = tele.metrics_snapshot()
         now = time.perf_counter()
-        algo.history.append(
-            RoundRecord(
-                round=round_idx,
-                accuracy=acc,
-                train_loss=mean_loss,
-                cumulative_mb=algo.comm.total_mb(),
-                seconds=now - self.mark,
-                upload_bytes=algo.comm.total_up - self.last_up,
-                download_bytes=algo.comm.total_down - self.last_down,
-                sim_seconds=self.sim,
-                extras=extras,
-            )
+        record = RoundRecord(
+            round=round_idx,
+            accuracy=acc,
+            train_loss=mean_loss,
+            cumulative_mb=algo.comm.total_mb(),
+            seconds=now - self.mark,
+            upload_bytes=algo.comm.total_up - self.last_up,
+            download_bytes=algo.comm.total_down - self.last_down,
+            sim_seconds=self.sim,
+            extras=extras,
         )
+        algo.history.append(record)
+        tele.record(record)
         self.mark = now
         self.last_up, self.last_down = algo.comm.total_up, algo.comm.total_down
         self.sim = 0.0
@@ -368,10 +374,15 @@ class Scheduler(ABC):
         """
         if not self.dynamic_population:
             return
+        tele = algo.telemetry
         for event in algo.population.events_until(now):
             rec = algo.apply_population_event(event, key_idx)
             if rec is not None:
                 spans.pop_events.append(rec)
+                tele.emit("population", **rec)
+                tele.count(f"population_{rec['kind']}")
+        if tele.enabled and algo._eligible is not None:
+            tele.gauge("roster_size", len(algo._eligible))
 
     def wire_down(
         self, algo: "FederatedAlgorithm", round_idx: int, selected: np.ndarray
@@ -390,26 +401,39 @@ class Scheduler(ABC):
             ids the availability draw skipped.
         """
         cfg = algo.config
-        selected = np.asarray(selected, dtype=int)
-        unavailable: list[int] = []
-        if not self.ideal:
-            mask = algo.network.available_mask(round_idx, selected)
-            unavailable = [int(c) for c in selected[~mask]]
-            selected = selected[mask]
-        dropout_rng = (
-            algo.rngs.make("dropout", round_idx) if cfg.dropout_rate > 0 else None
-        )
-        survivors: list[int] = []
-        down_nbytes: dict[int, int] = {}
-        for cid in selected:
-            nb = algo.download_bytes(int(cid), round_idx)
-            down_nbytes[int(cid)] = nb
-            algo.comm.record_download(round_idx, nb)
-            if dropout_rng is not None and dropout_rng.random() < cfg.dropout_rate:
-                # Dropped out after receiving the model (paper §4.2): no
-                # upload, no contribution to aggregation.
-                continue
-            survivors.append(int(cid))
+        tele = algo.telemetry
+        with tele.span("wire_down", cat="wire", selected=len(selected)):
+            selected = np.asarray(selected, dtype=int)
+            unavailable: list[int] = []
+            if not self.ideal:
+                mask = algo.network.available_mask(round_idx, selected)
+                unavailable = [int(c) for c in selected[~mask]]
+                selected = selected[mask]
+                for cid in unavailable:
+                    tele.emit("unavailable", client=cid)
+                if unavailable:
+                    tele.count("unavailable", len(unavailable))
+            dropout_rng = (
+                algo.rngs.make("dropout", round_idx)
+                if cfg.dropout_rate > 0
+                else None
+            )
+            survivors: list[int] = []
+            down_nbytes: dict[int, int] = {}
+            for cid in selected:
+                nb = algo.download_bytes(int(cid), round_idx)
+                down_nbytes[int(cid)] = nb
+                algo.comm.record_download(round_idx, nb)
+                tele.count("bytes_down", nb)
+                if (
+                    dropout_rng is not None
+                    and dropout_rng.random() < cfg.dropout_rate
+                ):
+                    # Dropped out after receiving the model (paper §4.2):
+                    # no upload, no contribution to aggregation.
+                    tele.count("dropouts")
+                    continue
+                survivors.append(int(cid))
         return survivors, down_nbytes, unavailable
 
     def execute(
@@ -436,7 +460,7 @@ class Scheduler(ABC):
             item.logical_up = int(u.params[sl].nbytes) + overhead
             if not self.identity:
                 ref = algo.wire_reference(u, key_idx)
-                encoded = algo.codec.encode(
+                encoded = algo.codec.traced_encode(
                     u.client_id,
                     u.params[sl] - ref[sl],
                     algo.rngs.make(f"codec.client{u.client_id}", key_idx),
@@ -462,10 +486,13 @@ class Scheduler(ABC):
         """Complete an upload: meter wire bytes, commit codec state, decode."""
         u = item.update
         algo.comm.record_upload(meter_idx, item.wire_up, item.logical_up)
+        algo.telemetry.count("bytes_up", item.wire_up)
         if item.encoded is not None:
             algo.codec.commit(u.client_id, item.encoded)
             received = u.params.copy()
-            received[item.sl] = item.ref_sl + algo.codec.decode(item.encoded)
+            received[item.sl] = item.ref_sl + algo.codec.traced_decode(
+                item.encoded, u.client_id
+            )
             u.params = received
         return u
 
@@ -493,6 +520,7 @@ class SyncScheduler(Scheduler):
 
     def run(self, algo: "FederatedAlgorithm", resume: dict | None = None) -> None:
         cfg = algo.config
+        tele = algo.telemetry
         self.begin(algo)
         spans = _Spans(algo)
         start = 1
@@ -501,40 +529,57 @@ class SyncScheduler(Scheduler):
             self.pop_now = float(resume["pop_now"])
             spans.load_state_dict(resume["spans"])
         for round_idx in range(start, cfg.rounds + 1):
-            self.advance_population(algo, spans, round_idx, self.pop_now)
-            selected = algo.select_clients(round_idx)
-            survivors, down_nbytes, unavailable = self.wire_down(
-                algo, round_idx, selected
-            )
-            spans.unavailable.extend(unavailable)
-            updates = self.execute(algo, round_idx, survivors)
-            delivered: list["ClientUpdate"] = []
-            cut: list[int] = []
-            round_sim = 0.0
-            for u in updates:
-                item = self.encode_upload(algo, u, round_idx)
-                if self.simulate:
-                    t = self.trip_seconds(algo, item, down_nbytes)
-                    if self.deadline is not None and t > self.deadline:
-                        # Cut off mid-round: the upload never completes
-                        # (not metered), error-feedback residuals stay as
-                        # they were, and the update is discarded.
-                        cut.append(u.client_id)
-                        continue
-                    round_sim = max(round_sim, t)
-                delivered.append(self.deliver(algo, item, round_idx))
-            if cut and self.deadline is not None:
-                round_sim = self.deadline  # the server waits out the budget
-            spans.sim += round_sim
-            spans.dropped.extend(cut)
-            if delivered:
-                # an all-cut (or all-unavailable) round changes nothing
-                # server-side; the record below still commits
-                algo.aggregate(round_idx, delivered)
-            self.pop_now += round_sim if self.simulate else 1.0
-            if round_idx % cfg.eval_every == 0 or round_idx == cfg.rounds:
-                spans.flush_record(round_idx, delivered)
-            self.maybe_checkpoint(algo, spans, round_idx)
+            with tele.span("round", cat="scheduler", round=round_idx):
+                self.advance_population(algo, spans, round_idx, self.pop_now)
+                selected = algo.select_clients(round_idx)
+                survivors, down_nbytes, unavailable = self.wire_down(
+                    algo, round_idx, selected
+                )
+                spans.unavailable.extend(unavailable)
+                updates = self.execute(algo, round_idx, survivors)
+                delivered: list["ClientUpdate"] = []
+                cut: list[int] = []
+                round_sim = 0.0
+                with tele.span("wire_up", cat="wire", uploads=len(updates)):
+                    for u in updates:
+                        item = self.encode_upload(algo, u, round_idx)
+                        if self.simulate:
+                            t = self.trip_seconds(algo, item, down_nbytes)
+                            if self.deadline is not None and t > self.deadline:
+                                # Cut off mid-round: the upload never
+                                # completes (not metered), error-feedback
+                                # residuals stay as they were, and the
+                                # update is discarded.
+                                cut.append(u.client_id)
+                                tele.emit(
+                                    "deadline_drop",
+                                    client=int(u.client_id), t=float(t),
+                                    flush=int(round_idx),
+                                )
+                                tele.count("deadline_drops")
+                                continue
+                            tele.vspan(
+                                "trip", self.pop_now, self.pop_now + t,
+                                client=int(u.client_id),
+                            )
+                            round_sim = max(round_sim, t)
+                        delivered.append(self.deliver(algo, item, round_idx))
+                if cut and self.deadline is not None:
+                    round_sim = self.deadline  # server waits out the budget
+                spans.sim += round_sim
+                spans.dropped.extend(cut)
+                tele.observe("arrivals_per_flush", len(delivered))
+                if delivered:
+                    # an all-cut (or all-unavailable) round changes nothing
+                    # server-side; the record below still commits
+                    with tele.span(
+                        "aggregate", cat="scheduler", updates=len(delivered)
+                    ):
+                        algo.aggregate(round_idx, delivered)
+                self.pop_now += round_sim if self.simulate else 1.0
+                if round_idx % cfg.eval_every == 0 or round_idx == cfg.rounds:
+                    spans.flush_record(round_idx, delivered)
+                self.maybe_checkpoint(algo, spans, round_idx)
 
 
 @register("scheduler", "semisync", options=[
@@ -579,62 +624,90 @@ class SemiSyncScheduler(Scheduler):
             start = int(resume["round"]) + 1
             self.pop_now = float(resume["pop_now"])
             spans.load_state_dict(resume["spans"])
+        tele = algo.telemetry
         for round_idx in range(start, cfg.rounds + 1):
-            self.advance_population(algo, spans, round_idx, self.pop_now)
-            if self.dynamic_population:
-                # quorum tracks the eligible population as it churns
-                quorum = nominal_cohort(int(algo.roster().size), cfg.sample_rate)
-            selected = algo.select_clients(round_idx, sample_rate=rate)
-            survivors, down_nbytes, unavailable = self.wire_down(
-                algo, round_idx, selected
-            )
-            spans.unavailable.extend(unavailable)
-            updates = self.execute(algo, round_idx, survivors)
-            arrivals = []
-            for seq, u in enumerate(updates):
-                item = self.encode_upload(algo, u, round_idx)
-                t = self.trip_seconds(algo, item, down_nbytes)
-                arrivals.append((t, seq, item))
-            arrivals.sort(key=lambda a: (a[0], a[1]))
-            kept: list[tuple[int, float, WireItem]] = []
-            cut: list[int] = []
-            round_sim = 0.0
-            for t, seq, item in arrivals:
-                if len(kept) >= quorum:
-                    # The server stopped waiting when the quorum filled;
-                    # everything later is cancelled, deadline or not.
-                    spans.cancelled.append(item.update.client_id)
-                elif self.deadline is not None and t > self.deadline:
-                    cut.append(item.update.client_id)
-                else:
-                    kept.append((seq, t, item))
-                    round_sim = max(round_sim, t)
-            if cut and self.deadline is not None and len(kept) < quorum:
-                round_sim = self.deadline
-            # deliver and aggregate in submission (dispatch) order so
-            # floating-point reductions see the canonical operand order
-            kept.sort(key=lambda k: k[0])
-            delivered = []
-            for seq, t, item in kept:
-                delivered.append(self.deliver(algo, item, round_idx))
-                spans.events.append(
-                    {
-                        "client": int(item.update.client_id),
-                        "t": float(t),
-                        "staleness": 0,
-                        "flush": int(round_idx),
-                    }
+            with tele.span("round", cat="scheduler", round=round_idx):
+                self.advance_population(algo, spans, round_idx, self.pop_now)
+                if self.dynamic_population:
+                    # quorum tracks the eligible population as it churns
+                    quorum = nominal_cohort(
+                        int(algo.roster().size), cfg.sample_rate
+                    )
+                selected = algo.select_clients(round_idx, sample_rate=rate)
+                survivors, down_nbytes, unavailable = self.wire_down(
+                    algo, round_idx, selected
                 )
-            spans.sim += round_sim
-            spans.dropped.extend(cut)
-            if delivered:
-                # an all-cut round changes nothing server-side; the
-                # record below still commits
-                algo.aggregate(round_idx, delivered)
-            self.pop_now += round_sim if self.simulate else 1.0
-            if round_idx % cfg.eval_every == 0 or round_idx == cfg.rounds:
-                spans.flush_record(round_idx, delivered)
-            self.maybe_checkpoint(algo, spans, round_idx)
+                spans.unavailable.extend(unavailable)
+                updates = self.execute(algo, round_idx, survivors)
+                with tele.span("wire_up", cat="wire", uploads=len(updates)):
+                    arrivals = []
+                    for seq, u in enumerate(updates):
+                        item = self.encode_upload(algo, u, round_idx)
+                        t = self.trip_seconds(algo, item, down_nbytes)
+                        arrivals.append((t, seq, item))
+                    arrivals.sort(key=lambda a: (a[0], a[1]))
+                    kept: list[tuple[int, float, WireItem]] = []
+                    cut: list[int] = []
+                    round_sim = 0.0
+                    for t, seq, item in arrivals:
+                        if len(kept) >= quorum:
+                            # The server stopped waiting when the quorum
+                            # filled; everything later is cancelled,
+                            # deadline or not.
+                            spans.cancelled.append(item.update.client_id)
+                            tele.emit(
+                                "cancel",
+                                client=int(item.update.client_id),
+                                t=float(t), flush=int(round_idx),
+                            )
+                            tele.count("cancellations")
+                        elif self.deadline is not None and t > self.deadline:
+                            cut.append(item.update.client_id)
+                            tele.emit(
+                                "deadline_drop",
+                                client=int(item.update.client_id),
+                                t=float(t), flush=int(round_idx),
+                            )
+                            tele.count("deadline_drops")
+                        else:
+                            kept.append((seq, t, item))
+                            tele.vspan(
+                                "trip", self.pop_now, self.pop_now + t,
+                                client=int(item.update.client_id),
+                            )
+                            round_sim = max(round_sim, t)
+                    if cut and self.deadline is not None and len(kept) < quorum:
+                        round_sim = self.deadline
+                    # deliver and aggregate in submission (dispatch) order
+                    # so floating-point reductions see the canonical
+                    # operand order
+                    kept.sort(key=lambda k: k[0])
+                    delivered = []
+                    for seq, t, item in kept:
+                        delivered.append(self.deliver(algo, item, round_idx))
+                        spans.events.append(
+                            {
+                                "client": int(item.update.client_id),
+                                "t": float(t),
+                                "staleness": 0,
+                                "flush": int(round_idx),
+                            }
+                        )
+                        tele.emit("arrival", **spans.events[-1])
+                spans.sim += round_sim
+                spans.dropped.extend(cut)
+                tele.observe("arrivals_per_flush", len(delivered))
+                if delivered:
+                    # an all-cut round changes nothing server-side; the
+                    # record below still commits
+                    with tele.span(
+                        "aggregate", cat="scheduler", updates=len(delivered)
+                    ):
+                        algo.aggregate(round_idx, delivered)
+                self.pop_now += round_sim if self.simulate else 1.0
+                if round_idx % cfg.eval_every == 0 or round_idx == cfg.rounds:
+                    spans.flush_record(round_idx, delivered)
+                self.maybe_checkpoint(algo, spans, round_idx)
 
 
 @register("scheduler", "buffered", options=[
@@ -715,6 +788,7 @@ class BufferedScheduler(Scheduler):
         else:
             self._load_resume(spans, resume)
         eval_every = cfg.eval_every
+        tele = algo.telemetry
         while self._version < self._total_flushes:
             if self._heap:
                 t, seq, cycle, v_dispatch, item = heapq.heappop(self._heap)
@@ -732,10 +806,15 @@ class BufferedScheduler(Scheduler):
             self._buffer.sort(key=lambda b: b[0])
             merged = [b[4] for b in self._buffer]
             staleness = [version - 1 - b[2] for b in self._buffer]
+            tele.observe("arrivals_per_flush", len(merged))
             if merged:
                 # an empty flush (cohort entirely dropped out) changes
                 # nothing server-side but still advances the federation
-                algo.merge(version, merged, staleness)
+                with tele.span(
+                    "merge", cat="scheduler", flush=version,
+                    updates=len(merged),
+                ):
+                    algo.merge(version, merged, staleness)
             for (seq, cycle, v_dispatch, t_arr, u), s in zip(
                 self._buffer, staleness
             ):
@@ -747,6 +826,8 @@ class BufferedScheduler(Scheduler):
                         "flush": int(version),
                     }
                 )
+                tele.emit("arrival", **spans.events[-1])
+                tele.observe("staleness", s)
             self._buffer = []
             if version % eval_every == 0 or version == self._total_flushes:
                 spans.sim = self._now - self._mark_sim
@@ -761,36 +842,41 @@ class BufferedScheduler(Scheduler):
 
     def _dispatch(self, algo: "FederatedAlgorithm", spans: _Spans, t: float) -> None:
         """Fill every free slot with a fresh client at virtual time t."""
-        # population clock: virtual time when anything is simulated,
-        # else one second per completed flush (mirrors sync's
-        # one-second-per-round fallback)
-        self.pop_now = t if self.simulate else float(self._version)
-        self.advance_population(algo, spans, self._cycle + 1, self.pop_now)
-        free = self._concurrency - len(self._running)
-        if free <= 0:
-            return
-        self._cycle += 1
-        cycle = self._cycle
-        pool = algo.select_clients(cycle)
-        picks = [int(c) for c in pool if int(c) not in self._running]
-        if len(picks) > free:
-            # More candidates than free slots: choose uniformly (the
-            # pool is sorted, so truncating would starve high ids),
-            # then restore sorted order for the wire-down draws.
-            perm = algo.rngs.make("sched.refill", cycle).permutation(len(picks))
-            picks = sorted(picks[i] for i in perm[:free])
-        survivors, down_nbytes, unavailable = self.wire_down(
-            algo, cycle, np.asarray(picks, dtype=int)
-        )
-        spans.unavailable.extend(unavailable)
-        for u in self.execute(algo, cycle, survivors):
-            item = self.encode_upload(algo, u, cycle)
-            dur = self.trip_seconds(algo, item, down_nbytes)
-            heapq.heappush(
-                self._heap, (t + dur, self._seq, cycle, self._version, item)
+        tele = algo.telemetry
+        with tele.span("dispatch", cat="scheduler", cycle=self._cycle + 1):
+            # population clock: virtual time when anything is simulated,
+            # else one second per completed flush (mirrors sync's
+            # one-second-per-round fallback)
+            self.pop_now = t if self.simulate else float(self._version)
+            self.advance_population(algo, spans, self._cycle + 1, self.pop_now)
+            free = self._concurrency - len(self._running)
+            if free <= 0:
+                return
+            self._cycle += 1
+            cycle = self._cycle
+            pool = algo.select_clients(cycle)
+            picks = [int(c) for c in pool if int(c) not in self._running]
+            if len(picks) > free:
+                # More candidates than free slots: choose uniformly (the
+                # pool is sorted, so truncating would starve high ids),
+                # then restore sorted order for the wire-down draws.
+                perm = algo.rngs.make(
+                    "sched.refill", cycle
+                ).permutation(len(picks))
+                picks = sorted(picks[i] for i in perm[:free])
+            survivors, down_nbytes, unavailable = self.wire_down(
+                algo, cycle, np.asarray(picks, dtype=int)
             )
-            self._running.add(int(u.client_id))
-            self._seq += 1
+            spans.unavailable.extend(unavailable)
+            for u in self.execute(algo, cycle, survivors):
+                item = self.encode_upload(algo, u, cycle)
+                dur = self.trip_seconds(algo, item, down_nbytes)
+                heapq.heappush(
+                    self._heap, (t + dur, self._seq, cycle, self._version, item)
+                )
+                tele.vspan("trip", t, t + dur, client=int(u.client_id))
+                self._running.add(int(u.client_id))
+                self._seq += 1
 
     def state_dict(self, completed: int, spans: _Spans) -> dict:
         state = super().state_dict(completed, spans)

@@ -74,6 +74,7 @@ from repro.fl.population import PopulationEvent, PopulationModel, make_populatio
 from repro.fl.history import History
 from repro.fl.sampling import sample_clients
 from repro.fl.scheduler import Scheduler, make_scheduler
+from repro.fl.telemetry import NULL_TELEMETRY, make_telemetry
 from repro.fl.training import evaluate_accuracy, local_sgd
 from repro.nn.model import Sequential
 from repro.nn.optim import SGD
@@ -236,6 +237,10 @@ class FederatedAlgorithm(ABC):
         #: run-configuration fingerprint, computed at ``run()`` entry
         #: (before any joiner pool detaches) and embedded in checkpoints
         self._fingerprint: dict = {}
+        #: run observability (:mod:`repro.fl.telemetry`), built by ``run``
+        #: from the config; the shared no-op sink until then (and forever,
+        #: with the default ``telemetry="off"``)
+        self.telemetry = NULL_TELEMETRY
 
     @property
     def model(self) -> Sequential:
@@ -461,6 +466,7 @@ class FederatedAlgorithm(ABC):
         "codec", "network", "scheduler", "population",
         "_eligible", "_ran",
         "on_checkpoint", "checkpoint_meta", "_fingerprint",
+        "telemetry",
     })
 
     def checkpoint_state(self) -> dict:
@@ -603,15 +609,28 @@ class FederatedAlgorithm(ABC):
             # install the saved state over the freshly-built components;
             # ``setup`` is skipped below — its results live in the state
             resume_sched = restore_checkpoint(self, ckpt)
+        # a caller may inject a pre-built Telemetry (e.g. to attach an
+        # ``on_record`` hook) before run(); otherwise resolve from config
+        if self.telemetry is NULL_TELEMETRY:
+            self.telemetry = make_telemetry(cfg)
+        self.codec.telemetry = self.telemetry
+        self.telemetry.begin_run(
+            self, resumed_from=None if ckpt is None else int(ckpt.round)
+        )
         try:
             if ckpt is None:
                 t0 = time.perf_counter()
-                self.setup()
+                with self.telemetry.span("setup", cat="engine"):
+                    self.setup()
                 self.history.setup_seconds = time.perf_counter() - t0
+                self.telemetry.emit(
+                    "setup", seconds=float(self.history.setup_seconds)
+                )
             self.scheduler.run(self, resume=resume_sched)
         finally:
             self._backend.close()
             self._backend = None
+            self.telemetry.finish(self)
         return self.history
 
     def select_clients(
@@ -783,7 +802,10 @@ class FederatedAlgorithm(ABC):
     def evaluate(self) -> float:
         """The paper's headline metric: average local test accuracy over
         *all* clients (each on its own designated model)."""
-        return float(np.mean(self.per_client_accuracy()))
+        with self.telemetry.span(
+            "eval", cat="engine", clients=int(self.fed.num_clients)
+        ):
+            return float(np.mean(self.per_client_accuracy()))
 
     def per_client_accuracy(self) -> np.ndarray:
         """Local test accuracy of every client, in client-id order.

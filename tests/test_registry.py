@@ -59,7 +59,7 @@ class TestRegistryShape:
         names = [f.name for f in registry.families()]
         assert names == [
             "backend", "codec", "network", "scheduler", "population",
-            "algorithm",
+            "telemetry", "algorithm",
         ]
 
     def test_legacy_dicts_derive_from_registry(self):
