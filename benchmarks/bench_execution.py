@@ -23,6 +23,7 @@ import time
 import numpy as np
 import pytest
 
+from _bench_util import write_bench_json
 from conftest import run_once
 from repro.experiments import BENCH_SCALE
 from repro.experiments.runner import run_cell
@@ -83,6 +84,18 @@ def test_backend_equivalence_and_timing(benchmark, save_artifact):
                 f"{timings['serial'] / timings['process']:.2f}x"
             )
     save_artifact("execution_backends", "\n".join(lines))
+    write_bench_json(
+        {
+            "bench": "execution",
+            "workers": WORKERS,
+            "cpu_count": os.cpu_count(),
+            "rows": {
+                f"{dataset}/{method}": {b: round(t, 4) for b, t in timings.items()}
+                for dataset, method, timings in rows
+            },
+        },
+        "execution_backends",
+    )
 
     # Hard guarantee: every backend produced identical science (asserted
     # above); timing is recorded, not asserted, because cores vary.

@@ -1,0 +1,175 @@
+"""Robustness benchmark: byzantine attacks vs robust aggregation rules.
+
+Measures the engine's adversarial subsystem (:mod:`repro.fl.attacks` /
+:mod:`repro.fl.aggregation`): the same FedAvg federation runs clean, under
+a **signflip** attack (adversaries upload the mirrored model, silently
+reversing their share of progress) and under a **scale** attack
+(model-replacement boosting, Bagdasaryan et al. 2020) at a 20% adversary
+fraction, each aggregated by the sample-weighted mean and by the robust
+rules (coordinate-wise median, trimmed mean).
+
+The bench runs IID on purpose: robust aggregation's guarantees assume the
+honest updates are exchangeable, so a homogeneous federation isolates the
+attack/defense effect from data heterogeneity (the ``robustness``
+experiments artifact covers the paper's non-IID settings, where
+coordinate-wise rules measurably trade accuracy for safety).
+
+Three assertions capture the claim:
+
+* the scale attack **collapses** the weighted mean — one boosted
+  adversary round drags the global model far from the honest optimum;
+* the robust rules **recover** most of the clean-run accuracy under both
+  attacks (within ``RECOVERY_WINDOW`` points); and
+* under signflip the median strictly beats the weighted mean — the
+  defense, not noise, is what restores accuracy.
+
+Runs standalone too (CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_robustness.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from _bench_util import write_bench_json
+from repro.experiments import BENCH_SCALE, SMOKE_SCALE
+from repro.experiments.runner import run_cell
+
+METHOD = "fedavg"
+DATASET = "fmnist"
+SETTING = "iid"
+#: (attack spec, aggregator spec) per scenario row
+SCENARIOS = {
+    "clean": ("none", "weighted"),
+    "signflip+weighted": ("signflip:frac=0.2", "weighted"),
+    "signflip+median": ("signflip:frac=0.2", "median"),
+    "signflip+trimmed": ("signflip:frac=0.2", "trimmed:trim=0.25"),
+    "scale+weighted": ("scale:frac=0.2", "weighted"),
+    "scale+median": ("scale:frac=0.2", "median"),
+}
+#: robust rules must land within this many accuracy points of the clean
+#: run (the "recovers most of the clean accuracy" gate)
+RECOVERY_WINDOW = 12.0
+#: the scale attack must drag the weighted mean at least this far below
+#: the clean run (the "collapses" gate)
+COLLAPSE_MARGIN = 20.0
+SEEDS = (0, 1, 2)
+
+
+def _scale(smoke: bool):
+    """Full participation so every round sees the fixed 20% adversaries."""
+    base = SMOKE_SCALE if smoke else BENCH_SCALE
+    return base.scaled(
+        num_clients=10, rounds=10, sample_rate=1.0, n_samples=800,
+        eval_every=5,
+    )
+
+
+def run_study(scale, seeds=SEEDS) -> dict:
+    """One row per scenario: mean/per-seed accuracy + adversary count."""
+    rows: dict[str, dict] = {}
+    for name, (attack, aggregator) in SCENARIOS.items():
+        accs, n_adv = [], 0
+        for seed in seeds:
+            res = run_cell(
+                DATASET, METHOD, SETTING, scale, seed=seed,
+                fl_options={"attack": attack, "aggregator": aggregator},
+            )
+            accs.append(100.0 * res.final_accuracy)
+            n_adv = len(res.algorithm.attack.roster)
+        rows[name] = {
+            "accuracy": float(np.mean(accs)),
+            "per_seed": accs,
+            "adversaries": n_adv,
+        }
+    return rows
+
+
+def render(rows: dict, scale_name: str) -> str:
+    lines = [
+        f"Robustness study — byzantine attacks vs aggregation rules "
+        f"({scale_name} scale, {DATASET} / {SETTING} / {METHOD})",
+        "",
+        "signflip: adversaries upload the mirrored model; scale:",
+        "model-replacement boosting (x10).  20% of clients are",
+        "adversarial; every round sees the full roster.",
+        "",
+        f"{'scenario':18s} {'acc %':>7s} {'per-seed':>22s} {'adv':>4s}",
+        "-" * 56,
+    ]
+    for name, row in rows.items():
+        per_seed = " ".join(f"{a:.1f}" for a in row["per_seed"])
+        lines.append(
+            f"{name:18s} {row['accuracy']:>7.2f} {per_seed:>22s} "
+            f"{row['adversaries']:>4d}"
+        )
+    return "\n".join(lines)
+
+
+def check(rows: dict) -> None:
+    """The three robustness gates (see module docstring)."""
+    clean = rows["clean"]["accuracy"]
+    assert rows["clean"]["adversaries"] == 0, "clean run drew adversaries"
+    for name in SCENARIOS:
+        if name != "clean":
+            assert rows[name]["adversaries"] == 2, (
+                f"{name} expected exactly 2 adversaries (20% of 10), got "
+                f"{rows[name]['adversaries']}"
+            )
+    assert rows["scale+weighted"]["accuracy"] <= clean - COLLAPSE_MARGIN, (
+        f"the scale attack left the weighted mean at "
+        f"{rows['scale+weighted']['accuracy']:.2f}%, less than "
+        f"{COLLAPSE_MARGIN} points below the clean run's {clean:.2f}% — "
+        f"no collapse to defend against"
+    )
+    for name in ("signflip+median", "signflip+trimmed", "scale+median"):
+        assert rows[name]["accuracy"] >= clean - RECOVERY_WINDOW, (
+            f"{name} reached {rows[name]['accuracy']:.2f}%, more than "
+            f"{RECOVERY_WINDOW} points below the clean run's {clean:.2f}%"
+        )
+    assert (
+        rows["signflip+median"]["accuracy"]
+        >= rows["signflip+weighted"]["accuracy"] + 1.0
+    ), (
+        f"the median ({rows['signflip+median']['accuracy']:.2f}%) did not "
+        f"beat the weighted mean "
+        f"({rows['signflip+weighted']['accuracy']:.2f}%) under signflip"
+    )
+
+
+def test_robust_aggregation(benchmark, save_artifact):
+    from conftest import run_once
+
+    rows = run_once(benchmark, lambda: run_study(_scale(smoke=False)))
+    save_artifact("robustness_study", render(rows, "bench"))
+    check(rows)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny configuration for CI (seconds instead of minutes)",
+    )
+    args = parser.parse_args(argv)
+    rows = run_study(_scale(args.smoke))
+    name = "robustness_smoke" if args.smoke else "robustness_study"
+    text = render(rows, "smoke" if args.smoke else "bench")
+    out_dir = Path(__file__).parent / "out"
+    out_dir.mkdir(exist_ok=True)
+    path = out_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    json_path = write_bench_json({"bench": "robustness", "rows": rows}, "BENCH_8")
+    print(text)
+    print(f"[saved to {path} and {json_path}]")
+    check(rows)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.fl.server import ClientUpdate, FederatedAlgorithm, average_states, weighted_average
+from repro.fl.server import ClientUpdate, FederatedAlgorithm
 from repro.nn.serialization import flatten_params
 
 __all__ = ["ClusteredAlgorithm"]
@@ -68,17 +68,20 @@ class ClusteredAlgorithm(FederatedAlgorithm):
         return self.cluster_states[self.cluster_of[client_id]]
 
     def aggregate(self, round_idx: int, updates: list[ClientUpdate]) -> None:
-        """Per-cluster sample-weighted averaging."""
+        """Per-cluster aggregation through the configured rule (the
+        default ``weighted`` rule is the paper's sample-weighted mean;
+        robust rules defend each cluster independently)."""
         by_cluster: dict[int, list[ClientUpdate]] = {}
         for u in updates:
             by_cluster.setdefault(int(self.cluster_of[u.client_id]), []).append(u)
         for gid, members in by_cluster.items():
             weights = [u.n_samples for u in members]
-            self.cluster_params[gid] = weighted_average(
-                [u.params for u in members], weights
+            self.cluster_params[gid] = self.combine(
+                [u.params for u in members], weights,
+                ref=self.cluster_params[gid],
             )
             if members[0].state:
-                self.cluster_states[gid] = average_states(
+                self.cluster_states[gid] = self.combine_states(
                     [u.state for u in members], weights
                 )
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.fl.registry import opt, register
-from repro.fl.server import ClientUpdate, FederatedAlgorithm, average_states, weighted_average
+from repro.fl.server import ClientUpdate, FederatedAlgorithm, average_states
 from repro.nn.serialization import flatten_params
 
 __all__ = ["FedAvg", "FedProx", "FedNova"]
@@ -44,9 +44,13 @@ class FedAvg(FederatedAlgorithm):
         if not updates:
             return
         weights = [u.n_samples for u in updates]
-        self.global_params = weighted_average([u.params for u in updates], weights)
+        self.global_params = self.combine(
+            [u.params for u in updates], weights, ref=self.global_params
+        )
         if updates[0].state:
-            self.global_state = average_states([u.state for u in updates], weights)
+            self.global_state = self.combine_states(
+                [u.state for u in updates], weights
+            )
 
 
 @register("algorithm", "fedprox", options=[
@@ -78,7 +82,12 @@ class FedProx(FedAvg):
 @register("algorithm", "fednova")
 class FedNova(FedAvg):
     """Wang et al. (2020): normalize client updates by their local step
-    counts so clients with more data/steps do not bias the global model."""
+    counts so clients with more data/steps do not bias the global model.
+
+    The normalized-direction algebra *is* the method, so FedNova keeps
+    its own aggregation and does not route through the configurable
+    ``aggregator`` family (like FedDyn; see ``docs/architecture.md``).
+    """
 
     name = "fednova"
 

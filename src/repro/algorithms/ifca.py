@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.algorithms.clustered import ClusteredAlgorithm
 from repro.fl.registry import opt, register
-from repro.fl.server import ClientUpdate, average_states, weighted_average
+from repro.fl.server import ClientUpdate
 from repro.fl.training import evaluate_accuracy, evaluate_loss
 from repro.nn.serialization import unflatten_params
 
@@ -81,11 +81,12 @@ class IFCA(ClusteredAlgorithm):
             by_cluster.setdefault(gid, []).append(u)
         for gid, members in by_cluster.items():
             weights = [u.n_samples for u in members]
-            self.cluster_params[gid] = weighted_average(
-                [u.params for u in members], weights
+            self.cluster_params[gid] = self.combine(
+                [u.params for u in members], weights,
+                ref=self.cluster_params[gid],
             )
             if members[0].state:
-                self.cluster_states[gid] = average_states(
+                self.cluster_states[gid] = self.combine_states(
                     [u.state for u in members], weights
                 )
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.fl.registry import opt, register
-from repro.fl.server import ClientUpdate, FederatedAlgorithm, weighted_average
+from repro.fl.server import ClientUpdate, FederatedAlgorithm
 from repro.nn.serialization import flatten_params, layer_slices
 
 __all__ = ["LGFedAvg"]
@@ -86,8 +86,9 @@ class LGFedAvg(FederatedAlgorithm):
             if u.state:
                 self.client_states[u.client_id] = u.state
         weights = [u.n_samples for u in updates]
-        self.global_part = weighted_average(
-            [u.params[self._global_slice] for u in updates], weights
+        self.global_part = self.combine(
+            [u.params[self._global_slice] for u in updates], weights,
+            ref=self.global_part,
         )
 
     def download_bytes(self, client_id: int, round_idx: int) -> int:

@@ -54,11 +54,13 @@ from repro.experiments import (
     format_figure1,
     format_figure4,
     format_population_table,
+    format_robustness_table,
     format_scalar_table,
     table_accuracy,
     table_comm_cost,
     table_newcomers,
     table_population,
+    table_robustness,
     table_rounds_to_target,
 )
 from repro.experiments.components import (
@@ -74,7 +76,7 @@ SCALES = {"bench": BENCH_SCALE, "smoke": SMOKE_SCALE, "paper": PAPER_SCALE}
 DATASETS = ["cifar10", "cifar100", "fmnist", "svhn"]
 ARTIFACTS = [
     "figure1", "table1", "table2", "table3", "figure3",
-    "table4", "table5", "figure4", "table6", "population",
+    "table4", "table5", "figure4", "table6", "population", "robustness",
 ]
 COMMANDS = ARTIFACTS + ["all", "components", "resume", "trace"]
 
@@ -161,6 +163,15 @@ def run_artifact(name: str, scale, seeds, datasets) -> str:
                 datasets, seeds=seeds,
             ),
             "Population study — accuracy (%) under churn/growth, label skew 20%",
+        )
+    if name == "robustness":
+        return format_robustness_table(
+            table_robustness(
+                "label_skew_20", scale.scaled(rounds=max(scale.rounds, 8)),
+                datasets[:1], seeds=seeds,
+            ),
+            "Robustness study — accuracy (%) under byzantine attacks, "
+            "label skew 20%",
         )
     raise KeyError(name)
 

@@ -146,6 +146,10 @@ NONIID_SETTINGS = {
     "label_skew_20": ("label_skew", {"frac_labels": 0.2}),
     "label_skew_30": ("label_skew", {"frac_labels": 0.3}),
     "dirichlet_0.1": ("dirichlet", {"alpha": 0.1}),
+    # Homogeneous control (not in the paper's tables): client updates are
+    # exchangeable, which is the regime where robust aggregation's
+    # guarantees hold — the adversarial bench runs here.
+    "iid": ("iid", {}),
 }
 
 ALL_METHODS = [

@@ -8,6 +8,7 @@ __all__ = [
     "format_accuracy_table",
     "format_scalar_table",
     "format_population_table",
+    "format_robustness_table",
     "format_figure4",
     "format_figure1",
     "format_curves",
@@ -128,6 +129,34 @@ def format_population_table(table: dict, title: str = "") -> str:
             c = table["events"][s][d]
             cells.append(f"{c['joins']}/{c['leaves']}/{c['returns']}")
         lines.append(_row(s, cells, widths))
+    return "\n".join(lines)
+
+
+def format_robustness_table(table: dict, title: str = "") -> str:
+    """Render the adversarial-robustness study: one grid per dataset with
+    an attack row per aggregation-rule column, plus adversary counts."""
+    aggregators = table["aggregators"]
+    attacks = list(table["cells"].keys())
+
+    def label(a: str, d: str) -> str:
+        return f"{a} ({table['adversaries'][a][d]} adv)"
+
+    labels = [label(a, d) for a in attacks for d in table["datasets"]]
+    widths = [max(len(s) for s in labels + ["Attack"])] + [14] * len(aggregators)
+    lines = []
+    if title:
+        lines.append(f"{title} — {table['method']}")
+    for d in table["datasets"]:
+        lines.append("")
+        lines.append(f"{d.upper()} — accuracy (%) by aggregation rule")
+        lines.append(_row("Attack", aggregators, widths))
+        lines.append("-" * (sum(widths) + 2 * len(widths)))
+        for a in attacks:
+            cells = []
+            for g in aggregators:
+                mean, std = table["cells"][a][g][d]
+                cells.append(f"{mean:.2f} ±{std:.2f}")
+            lines.append(_row(label(a, d), cells, widths))
     return "\n".join(lines)
 
 

@@ -25,8 +25,11 @@ __all__ = [
     "table_comm_cost",
     "table_newcomers",
     "table_population",
+    "table_robustness",
     "DEFAULT_TARGET_FRACTION",
     "POPULATION_SCENARIOS",
+    "ATTACK_SCENARIOS",
+    "ROBUST_AGGREGATORS",
 ]
 
 #: Targets in Tables 4/5 are dataset-specific absolute accuracies tuned to
@@ -227,6 +230,75 @@ def table_population(
         "method": method,
         "cells": cells,
         "events": events,
+    }
+
+
+#: The adversarial-robustness study's attack columns (the ``robustness``
+#: artifact): a clean federation next to the three canonical byzantine
+#: behaviors at a 20% adversary fraction (:mod:`repro.fl.attacks`).  The
+#: ``clean`` column is bit-for-bit the plain engine under the default
+#: ``weighted`` rule, so every other cell's delta is attributable to the
+#: attack / defense pair alone.
+ATTACK_SCENARIOS = {
+    "clean": "none",
+    "labelflip": "labelflip:frac=0.2",
+    "signflip": "signflip:frac=0.2",
+    "scale": "scale:frac=0.2",
+}
+
+#: Aggregation rules the robustness grid compares (rows), default first
+#: (:mod:`repro.fl.aggregation`).
+ROBUST_AGGREGATORS = ("weighted", "median", "trimmed", "krum")
+
+
+def table_robustness(
+    setting: str,
+    scale: ExperimentScale,
+    datasets: list[str] = ("cifar10",),
+    method: str = "fedclust",
+    attacks: dict[str, str] | None = None,
+    aggregators: tuple[str, ...] = ROBUST_AGGREGATORS,
+    seeds: tuple[int, ...] = (0,),
+    config_overrides: dict | None = None,
+) -> dict:
+    """The adversarial-robustness study: attack × aggregation-rule grid.
+
+    Runs ``method`` (FedClust by default) under every combination of
+    :data:`ATTACK_SCENARIOS` and :data:`ROBUST_AGGREGATORS` and reports
+    final mean local accuracy, plus each attack's adversary count (from
+    the seeded roster, identical across rules and seeds by
+    construction).  The ``clean`` × ``weighted`` cell is bit-for-bit the
+    plain engine.  Defaults to a single dataset: the grid is already
+    ``len(attacks) × len(aggregators)`` federations per dataset.
+    """
+    attacks = dict(attacks or ATTACK_SCENARIOS)
+    cells: dict[str, dict[str, dict[str, tuple[float, float]]]] = {
+        a: {g: {} for g in aggregators} for a in attacks
+    }
+    adversaries: dict[str, dict[str, int]] = {a: {} for a in attacks}
+    for dataset in datasets:
+        for attack_name, attack_spec in attacks.items():
+            for agg in aggregators:
+                runs = [
+                    run_cell(
+                        dataset, method, setting, scale, seed=s,
+                        config_overrides=config_overrides,
+                        fl_options={"attack": attack_spec, "aggregator": agg},
+                    )
+                    for s in seeds
+                ]
+                accs = [100.0 * r.final_accuracy for r in runs]
+                cells[attack_name][agg][dataset] = mean_std(accs)
+                adversaries[attack_name][dataset] = len(
+                    runs[-1].algorithm.attack.roster
+                )
+    return {
+        "setting": setting,
+        "datasets": list(datasets),
+        "method": method,
+        "aggregators": list(aggregators),
+        "cells": cells,
+        "adversaries": adversaries,
     }
 
 

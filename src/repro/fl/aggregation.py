@@ -1,0 +1,480 @@
+"""Server aggregation rules: the FedAvg weighted mean and robust variants.
+
+The seed engine hard-wires one aggregation rule — the n_samples-weighted
+mean (``weighted_average``, FedAvg's rule) — into every algorithm's
+``aggregate``.  That rule is optimal under honest clients and collapses
+under byzantine ones: a single adversary controlling one update can move
+the weighted mean arbitrarily far.  This module makes the rule a
+pluggable component family so the classic robust baselines can be
+swapped in beneath *every* algorithm:
+
+``weighted``
+    The default: exactly the seed's sample-weighted mean
+    (:func:`weighted_average` / :func:`average_states`), bit-for-bit.
+
+``median``
+    Coordinate-wise weighted (lower) median — Yin et al. (ICML 2018).
+    Each coordinate independently takes the smallest value whose
+    cumulative normalized weight reaches one half, so up to half the
+    total weight may be adversarial without moving any coordinate
+    outside the honest range.
+
+``trimmed``
+    Coordinate-wise trimmed mean (Yin et al., ICML 2018): per
+    coordinate, the ``agg_trim_frac`` fraction of values is dropped
+    from *each* end and the survivors are weight-averaged.  ``trim=0``
+    reduces to the weighted mean.
+
+``krum`` / ``multikrum``
+    Blanchard et al. (NeurIPS 2017): score every update by the sum of
+    squared distances to its ``n - f - 2`` nearest neighbours and keep
+    the lowest-scoring one (``krum``) or the ``agg_krum_m`` lowest
+    (``multikrum``, weight-averaged).  Selection, not averaging — a
+    poisoned update that is far from the honest cluster is never mixed
+    in at all.
+
+``clip``
+    Norm clipping: each update's delta from the reference model is
+    scaled down to at most ``agg_clip_norm`` (0 = the weighted median
+    of the delta norms, re-estimated each aggregation), then
+    weight-averaged.  Bounds any single client's influence without
+    discarding anyone; clipped updates are counted in the
+    ``clipped_updates`` telemetry counter.
+
+Algorithms route their parameter averaging through
+:meth:`FederatedAlgorithm.combine <repro.fl.server.FederatedAlgorithm.combine>`,
+which delegates here — so FedClust/IFCA apply the rule *per cluster*,
+and the buffered scheduler's staleness discounts (which scale each
+update's ``n_samples``) compose through the weights for every rule that
+uses them.  FedNova and FedDyn keep their own normalization-based
+aggregation (their update algebra is the algorithm, not a swappable
+rule) and are unaffected by this family.
+
+Aggregators are stateless between calls (Krum's selection memo only
+bridges a ``combine``/``combine_states`` pair within one aggregation),
+so checkpoints carry no aggregator section — the fingerprint pins the
+resolved rule and its knobs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fl import registry
+from repro.fl.registry import opt, register
+from repro.fl.telemetry import NULL_TELEMETRY
+
+__all__ = [
+    "weighted_average",
+    "average_states",
+    "Aggregator",
+    "WeightedAggregator",
+    "MedianAggregator",
+    "TrimmedMeanAggregator",
+    "KrumAggregator",
+    "MultiKrumAggregator",
+    "ClipAggregator",
+    "WEIGHTED",
+    "AGGREGATORS",
+    "KNOWN_AGG_KEYS",
+    "make_aggregator",
+]
+
+#: aggregation rules that actually defend (every registered rule but the
+#: seed's weighted mean) — the robustness knobs apply to these
+_ROBUST = ("median", "trimmed", "krum", "multikrum", "clip")
+
+
+def weighted_average(vectors: list[np.ndarray], weights: list[float]) -> np.ndarray:
+    """Sample-size-weighted average of flat parameter vectors (FedAvg rule).
+
+    Args:
+        vectors: flat parameter vectors of identical shape.
+        weights: non-negative weights, one per vector, with a positive sum
+            (normalized internally).
+
+    Returns:
+        The float64 weighted average vector.
+
+    Raises:
+        ValueError: on empty input, length mismatch, or invalid weights.
+    """
+    if not vectors:
+        raise ValueError("nothing to average")
+    if len(vectors) != len(weights):
+        raise ValueError(f"{len(vectors)} vectors vs {len(weights)} weights")
+    w = np.asarray(weights, dtype=np.float64)
+    if (w < 0).any() or w.sum() <= 0:
+        raise ValueError("weights must be non-negative with positive sum")
+    w = w / w.sum()
+    out = np.zeros_like(vectors[0], dtype=np.float64)
+    for v, wi in zip(vectors, w):
+        out += wi * v
+    return out
+
+
+def average_states(
+    states: list[dict[str, np.ndarray]], weights: list[float]
+) -> dict[str, np.ndarray]:
+    """Weighted average of non-trainable buffers (batch-norm stats).
+
+    Args:
+        states: per-client state dicts sharing one key set.
+        weights: non-negative weights, one per state (normalized
+            internally).
+
+    Returns:
+        A new state dict of float64 weighted averages (empty if ``states``
+        is empty).
+    """
+    if not states:
+        return {}
+    w = np.asarray(weights, dtype=np.float64)
+    w = w / w.sum()
+    keys = states[0].keys()
+    out: dict[str, np.ndarray] = {}
+    for key in keys:
+        acc = np.zeros_like(states[0][key], dtype=np.float64)
+        for s, wi in zip(states, w):
+            acc += wi * s[key]
+        out[key] = acc
+    return out
+
+
+def _stack(vectors: list[np.ndarray], weights: list[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Validate like :func:`weighted_average` and stack into an (n, d)
+    matrix plus normalized weights."""
+    if not vectors:
+        raise ValueError("nothing to average")
+    if len(vectors) != len(weights):
+        raise ValueError(f"{len(vectors)} vectors vs {len(weights)} weights")
+    w = np.asarray(weights, dtype=np.float64)
+    if (w < 0).any() or w.sum() <= 0:
+        raise ValueError("weights must be non-negative with positive sum")
+    matrix = np.stack([np.asarray(v, dtype=np.float64) for v in vectors])
+    return matrix, w / w.sum()
+
+
+class Aggregator:
+    """Base class: how a list of client updates becomes one vector.
+
+    One instance serves one run, built by ``FederatedAlgorithm.run``
+    (``make_aggregator``) and called from ``aggregate`` on the main
+    thread.  ``combine`` merges flat parameter vectors; ``combine_states``
+    merges the matching non-trainable buffer dicts and must be called
+    (if at all) immediately after the ``combine`` over the same member
+    list, so selection rules can reuse their choice.
+    """
+
+    #: registry name; subclasses set this
+    name: str = "base"
+
+    def __init__(self, extra: dict | None = None):
+        #: run observability; the engine swaps in the live sink at run()
+        self.telemetry = NULL_TELEMETRY
+        #: indices chosen by the latest selection-style ``combine``
+        #: (Krum); ``None`` for averaging rules
+        self._selected: list[int] | None = None
+
+    def combine(
+        self,
+        vectors: list[np.ndarray],
+        weights: list[float],
+        ref: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Merge flat parameter vectors into one.
+
+        Args:
+            vectors: flat float64 parameter vectors of identical shape.
+            weights: non-negative aggregation weights (``n_samples``,
+                already staleness-discounted by ``merge``).
+            ref: the server model the cohort trained from (cluster or
+                global params *before* this aggregation) — the delta
+                base for norm clipping; ``None`` where no meaningful
+                reference exists.
+        """
+        raise NotImplementedError
+
+    def combine_states(
+        self, states: list[dict[str, np.ndarray]], weights: list[float]
+    ) -> dict[str, np.ndarray]:
+        """Merge non-trainable buffers with the same rule, key by key."""
+        if not states:
+            return {}
+        out: dict[str, np.ndarray] = {}
+        for key in states[0]:
+            flat = [np.asarray(s[key], dtype=np.float64).ravel() for s in states]
+            out[key] = self.combine(flat, weights).reshape(states[0][key].shape)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+@register("aggregator", "weighted")
+class WeightedAggregator(Aggregator):
+    """The seed rule: the n_samples-weighted mean (FedAvg), bit-for-bit."""
+
+    name = "weighted"
+
+    def combine(self, vectors, weights, ref=None):
+        return weighted_average(vectors, weights)
+
+    def combine_states(self, states, weights):
+        return average_states(states, weights)
+
+
+@register("aggregator", "median")
+class MedianAggregator(Aggregator):
+    """Coordinate-wise weighted median (Yin et al., ICML 2018).
+
+    Per coordinate: sort the values, take the smallest whose cumulative
+    normalized weight reaches one half (the weighted *lower* median).
+    Robust while adversaries hold less than half the total weight;
+    identical updates are a fixed point.
+    """
+
+    name = "median"
+
+    def combine(self, vectors, weights, ref=None):
+        matrix, w = _stack(vectors, weights)
+        order = np.argsort(matrix, axis=0, kind="stable")
+        values = np.take_along_axis(matrix, order, axis=0)
+        cum = np.cumsum(w[order], axis=0)
+        # first sorted index whose cumulative weight reaches one half
+        # (epsilon absorbs cumsum round-off on exact .5 boundaries)
+        idx = np.argmax(cum >= 0.5 - 1e-12, axis=0)
+        return values[idx, np.arange(matrix.shape[1])]
+
+
+@register("aggregator", "trimmed", options=[
+    opt("agg_trim_frac", float, 0.1, low=0.0, high=0.5,
+        high_inclusive=False,
+        env="REPRO_AGG_TRIM_FRAC", alias="trim", only_for=("trimmed",),
+        help="fraction of values trimmed from each end of every "
+             "coordinate before averaging (0 = the plain weighted mean)"),
+])
+class TrimmedMeanAggregator(Aggregator):
+    """Coordinate-wise trimmed mean (Yin et al., ICML 2018).
+
+    Per coordinate, drops the ``agg_trim_frac`` fraction of values from
+    each end (``floor(trim * n)`` values per side) and weight-averages
+    the survivors.  ``trim=0`` keeps everyone and reduces to the
+    weighted mean.
+    """
+
+    name = "trimmed"
+
+    def __init__(self, extra: dict | None = None):
+        super().__init__(extra)
+        self.trim_frac = float((extra or {}).get("agg_trim_frac", 0.1))
+        if not 0.0 <= self.trim_frac < 0.5:
+            raise ValueError(
+                f"agg_trim_frac must be in [0, 0.5), got {self.trim_frac}"
+            )
+
+    def combine(self, vectors, weights, ref=None):
+        matrix, w = _stack(vectors, weights)
+        n = matrix.shape[0]
+        k = int(np.floor(self.trim_frac * n))
+        if 2 * k >= n:  # never trim everyone (tiny cohorts)
+            k = (n - 1) // 2
+        order = np.argsort(matrix, axis=0, kind="stable")
+        keep = order[k : n - k]
+        values = np.take_along_axis(matrix, keep, axis=0)
+        wk = w[keep]
+        wk = wk / wk.sum(axis=0, keepdims=True)
+        return (values * wk).sum(axis=0)
+
+
+def _krum_scores(matrix: np.ndarray, f: int) -> np.ndarray:
+    """Each row's Krum score: the summed squared distances to its
+    ``n - f - 2`` nearest other rows (Blanchard et al., NeurIPS 2017)."""
+    n = matrix.shape[0]
+    sq = (matrix * matrix).sum(axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (matrix @ matrix.T)
+    np.maximum(d2, 0.0, out=d2)  # clamp round-off negatives
+    np.fill_diagonal(d2, np.inf)
+    closest = max(1, n - f - 2)
+    return np.sort(d2, axis=1)[:, :closest].sum(axis=1)
+
+
+@register("aggregator", "krum", options=[
+    opt("agg_krum_f", int, 0, low=0,
+        env="REPRO_AGG_KRUM_F", alias="f", only_for=("krum", "multikrum"),
+        help="byzantine clients tolerated per aggregation; 0 picks the "
+             "maximum the cohort supports, floor((n - 3) / 2)"),
+])
+class KrumAggregator(Aggregator):
+    """Krum (Blanchard et al., NeurIPS 2017): keep the single update
+    closest to its peers.
+
+    Scores every update by the sum of squared distances to its
+    ``n - f - 2`` nearest neighbours and returns the lowest-scoring one
+    verbatim — selection, not averaging, so an outlying poisoned update
+    is never mixed in.  Cohorts too small to score (fewer than three
+    members) fall back to the weighted mean.
+    """
+
+    name = "krum"
+
+    def __init__(self, extra: dict | None = None):
+        super().__init__(extra)
+        self.f = int((extra or {}).get("agg_krum_f", 0))
+        if self.f < 0:
+            raise ValueError(f"agg_krum_f must be >= 0, got {self.f}")
+
+    def _tolerated(self, n: int) -> int:
+        """``f`` clamped to what an ``n``-member cohort supports."""
+        cap = max(0, (n - 3) // 2)
+        return min(self.f, cap) if self.f else cap
+
+    def _select(self, matrix: np.ndarray) -> list[int]:
+        scores = _krum_scores(matrix, self._tolerated(matrix.shape[0]))
+        return [int(np.argmin(scores))]
+
+    def combine(self, vectors, weights, ref=None):
+        matrix, w = _stack(vectors, weights)
+        if matrix.shape[0] < 3:  # too small to score neighbours
+            self._selected = list(range(matrix.shape[0]))
+            return weighted_average(vectors, weights)
+        self._selected = self._select(matrix)
+        if len(self._selected) == 1:
+            return matrix[self._selected[0]].copy()
+        return weighted_average(
+            [matrix[i] for i in self._selected],
+            [w[i] for i in self._selected],
+        )
+
+    def combine_states(self, states, weights):
+        sel = self._selected
+        if sel and max(sel) < len(states):
+            states = [states[i] for i in sel]
+            weights = [weights[i] for i in sel]
+        return average_states(states, weights)
+
+
+@register("aggregator", "multikrum", options=[
+    opt("agg_krum_m", int, 0, low=0,
+        env="REPRO_AGG_KRUM_M", alias="m", only_for=("multikrum",),
+        help="updates selected per aggregation; 0 picks n - f - 2 "
+             "(the standard Multi-Krum choice)"),
+])
+class MultiKrumAggregator(KrumAggregator):
+    """Multi-Krum: weight-average the ``agg_krum_m`` lowest-scoring
+    updates instead of keeping just one — robustness with less variance
+    than single-selection Krum."""
+
+    name = "multikrum"
+
+    def __init__(self, extra: dict | None = None):
+        super().__init__(extra)
+        self.m = int((extra or {}).get("agg_krum_m", 0))
+        if self.m < 0:
+            raise ValueError(f"agg_krum_m must be >= 0, got {self.m}")
+
+    def _select(self, matrix: np.ndarray) -> list[int]:
+        n = matrix.shape[0]
+        f = self._tolerated(n)
+        scores = _krum_scores(matrix, f)
+        m = self.m or max(1, n - f - 2)
+        m = min(m, n)
+        return [int(i) for i in np.argsort(scores, kind="stable")[:m]]
+
+
+@register("aggregator", "clip", options=[
+    opt("agg_clip_norm", float, 0.0, low=0.0,
+        env="REPRO_AGG_CLIP_NORM", alias="norm", only_for=("clip",),
+        help="L2 cap on each update's delta from the reference model; "
+             "0 re-estimates the cap per aggregation as the weighted "
+             "median of the cohort's delta norms"),
+])
+class ClipAggregator(Aggregator):
+    """Norm clipping: bound every client's influence, discard no one.
+
+    Each update's delta from the reference model (the cluster/global
+    params the cohort trained from) is scaled down to at most
+    ``agg_clip_norm`` before the weighted mean — a boosted
+    model-replacement update shrinks to an ordinary-sized one.  The
+    ``clipped_updates`` telemetry counter records how many deltas were
+    actually cut.  Without a reference (``ref=None``, e.g. buffer
+    statistics) it degrades to the plain weighted mean.
+    """
+
+    name = "clip"
+
+    def __init__(self, extra: dict | None = None):
+        super().__init__(extra)
+        self.clip_norm = float((extra or {}).get("agg_clip_norm", 0.0))
+        if self.clip_norm < 0:
+            raise ValueError(
+                f"agg_clip_norm must be >= 0, got {self.clip_norm}"
+            )
+
+    def combine(self, vectors, weights, ref=None):
+        if ref is None:
+            return weighted_average(vectors, weights)
+        matrix, w = _stack(vectors, weights)
+        deltas = matrix - np.asarray(ref, dtype=np.float64)
+        norms = np.sqrt((deltas * deltas).sum(axis=1))
+        limit = self.clip_norm
+        if limit == 0.0:
+            # weighted lower median of the cohort's delta norms
+            order = np.argsort(norms, kind="stable")
+            cum = np.cumsum(w[order])
+            limit = float(norms[order[np.argmax(cum >= 0.5 - 1e-12)]])
+        clipped = 0
+        if limit > 0:
+            for i, nm in enumerate(norms):
+                if nm > limit:
+                    deltas[i] *= limit / nm
+                    clipped += 1
+        if clipped:
+            self.telemetry.count("clipped_updates", clipped)
+        return np.asarray(ref, dtype=np.float64) + weighted_average(
+            list(deltas), weights
+        )
+
+    def combine_states(self, states, weights):
+        return average_states(states, weights)
+
+
+#: shared default instance: the seed rule, used by algorithms whose
+#: hooks are exercised without ``run()`` (direct calls in tests).  It is
+#: stateless, so sharing one instance across algorithm objects is safe;
+#: ``run()`` always builds a fresh per-run instance via
+#: :func:`make_aggregator`.
+WEIGHTED = WeightedAggregator()
+
+#: name → class, derived from the component registry (kept for
+#: introspection/back-compat; the registry is the source of truth)
+AGGREGATORS = registry.classes("aggregator")
+
+#: the registry-derived ``agg_`` key set (``FLConfig.extra`` validation)
+KNOWN_AGG_KEYS = registry.known_prefix_keys("aggregator")
+
+
+def make_aggregator(config=None, aggregator: str | None = None) -> Aggregator:
+    """Build the aggregation rule for one federation run.
+
+    Args:
+        config: an :class:`~repro.fl.config.FLConfig` supplying the
+            ``aggregator`` knob and ``agg_*`` extra parameters
+            (optional).
+        aggregator: explicit rule spec overriding the config — a
+            registered name, ``"auto"``, or an inline spec like
+            ``"trimmed:trim=0.2"``.
+
+    Resolution is the registry's (:func:`repro.fl.registry.resolve`):
+    ``"auto"`` reads ``REPRO_AGGREGATOR`` (default ``weighted`` — the
+    seed rule, bit-for-bit), and ``agg_*`` knobs may come from
+    ``FLConfig.extra``, ``REPRO_AGG_*`` env vars, or inline assignments.
+
+    Returns:
+        A fresh :class:`Aggregator`.
+    """
+    r = registry.resolve("aggregator", spec=aggregator, config=config)
+    extra = getattr(config, "extra", None) if config is not None else None
+    if r.provided_extra:
+        extra = {**(extra or {}), **r.provided_extra}
+    return r.impl.cls(extra)

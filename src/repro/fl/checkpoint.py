@@ -99,7 +99,9 @@ _CONFIG_FIELDS = (
 #: component families whose resolved (name, options) enter the fingerprint;
 #: ``backend`` is excluded — all backends are bit-for-bit equivalent, so
 #: resuming on a different backend is legal
-_FINGERPRINT_FAMILIES = ("codec", "network", "scheduler", "population")
+_FINGERPRINT_FAMILIES = (
+    "codec", "network", "scheduler", "population", "attack", "aggregator",
+)
 #: resolved options that may differ between the crashed and the resumed
 #: run without changing the trajectory
 _IGNORED_OPTIONS = frozenset({"checkpoint_every", "checkpoint_dir"})
@@ -300,6 +302,7 @@ def capture(algo: "FederatedAlgorithm", scheduler_state: dict) -> Checkpoint:
         "comm": algo.comm.state_dict(),
         "codec": algo.codec.state_dict(),
         "population": algo.population.state_dict(),
+        "attack": algo.attack.state_dict(),
         "eligible": (
             sorted(algo._eligible) if algo._eligible is not None else None
         ),
@@ -337,6 +340,9 @@ def restore(algo: "FederatedAlgorithm", ckpt: Checkpoint) -> dict:
     algo.history.load_state_dict(state["history"])
     algo.comm.load_state_dict(state["comm"])
     algo.codec.load_state_dict(state["codec"])
+    # the attacker roster re-derives from the seed; the saved copy
+    # cross-checks it (absent in pre-attack checkpoints: nothing to do)
+    algo.attack.load_state_dict(state.get("attack", {}))
     return dict(state["scheduler"])
 
 

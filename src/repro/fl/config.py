@@ -102,6 +102,22 @@ class FLConfig:
     #: ``extra`` or the ``REPRO_TELEMETRY_*`` env vars.  Never affects
     #: results, and is excluded from the checkpoint fingerprint.
     telemetry: str = "auto"
+    #: byzantine-attack model (:mod:`repro.fl.attacks`): ``"none"`` (the
+    #: default — every client honest, a shared no-op object), or
+    #: ``"labelflip"`` / ``"signflip"`` / ``"noise"`` / ``"scale"`` — a
+    #: seeded ``atk_frac`` subset of the roster poisons its uploads
+    #: before the wire layer; ``"auto"`` resolves from ``REPRO_ATTACK``,
+    #: and inline specs work (``"signflip:frac=0.2"``).  Adversary knobs
+    #: (``atk_*``) go in ``extra`` or the ``REPRO_ATK_*`` env vars.
+    attack: str = "auto"
+    #: server aggregation rule (:mod:`repro.fl.aggregation`):
+    #: ``"weighted"`` (the default — the seed's n_samples-weighted mean,
+    #: bit-for-bit), ``"median"``, ``"trimmed"``, ``"krum"``,
+    #: ``"multikrum"``, ``"clip"``, ``"auto"`` (resolve from
+    #: ``REPRO_AGGREGATOR``), or an inline spec
+    #: (``"trimmed:trim=0.2"``).  Applied per cluster by the clustered
+    #: methods; ``agg_*`` knobs go in ``extra``.
+    aggregator: str = "auto"
     #: save a resumable checkpoint (:mod:`repro.fl.checkpoint`) every N
     #: completed rounds (flushes, for ``buffered``).  ``None`` disables
     #: checkpointing (``REPRO_CHECKPOINT_EVERY`` can still enable it

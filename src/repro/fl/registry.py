@@ -307,6 +307,41 @@ _declare(
     example="on:progress=1",
 )
 _declare(
+    name="attack",
+    label="attack model",
+    field="attack",
+    env="REPRO_ATTACK",
+    default="none",
+    prefix="atk_",
+    module="repro.fl.attacks",
+    doc=(
+        "byzantine client behaviour: a seeded `atk_frac` subset of the "
+        "roster poisons its uploads before the wire layer — `labelflip` "
+        "trains on flipped targets, `signflip` reverses the delta, "
+        "`noise` adds Gaussian noise, `scale` boosts the delta for "
+        "model replacement; `none` (the default) is a shared no-op "
+        "object, bit-for-bit the seed behaviour"
+    ),
+    example="signflip:frac=0.2",
+)
+_declare(
+    name="aggregator",
+    label="aggregation rule",
+    field="aggregator",
+    env="REPRO_AGGREGATOR",
+    default="weighted",
+    prefix="agg_",
+    module="repro.fl.aggregation",
+    doc=(
+        "how client updates combine on the server (per cluster, for the "
+        "clustered methods): `weighted` is the seed's n_samples-weighted "
+        "mean, bit-for-bit; `median`/`trimmed` are the coordinate-wise "
+        "robust rules, `krum`/`multikrum` select the updates closest to "
+        "their peers, `clip` caps each delta's norm"
+    ),
+    example="trimmed:trim=0.2",
+)
+_declare(
     name="algorithm",
     label="algorithm",
     field=None,

@@ -451,7 +451,14 @@ class Scheduler(ABC):
         client downloaded (``wire_reference``) — i.e. before any
         intervening aggregation — which is why asynchronous schedulers
         call it at dispatch time.
+
+        A byzantine client's upload is poisoned here, *before* the codec
+        (:mod:`repro.fl.attacks`): lossy codecs, wire metering, and the
+        simulated network all see the poisoned update, identically
+        across the sync/semisync/buffered schedulers.
         """
+        if algo.attack.enabled:
+            u = algo.attack.poison_upload(algo, u, key_idx)
         protocol_up = algo.upload_bytes(u.client_id, key_idx)
         item = WireItem(u, protocol_up, protocol_up)
         if protocol_up > 0:

@@ -52,6 +52,14 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.data.federated import ClientData, FederatedDataset
+from repro.fl.aggregation import (
+    WEIGHTED,
+    Aggregator,
+    average_states,
+    make_aggregator,
+    weighted_average,
+)
+from repro.fl.attacks import NULL_ATTACK, AttackModel, make_attack
 from repro.fl.checkpoint import (
     Checkpoint,
     check_compatible,
@@ -112,62 +120,6 @@ class ClientUpdate:
     loss: float
     state: dict[str, np.ndarray] = field(default_factory=dict)
     extras: dict = field(default_factory=dict)
-
-
-def weighted_average(vectors: list[np.ndarray], weights: list[float]) -> np.ndarray:
-    """Sample-size-weighted average of flat parameter vectors (FedAvg rule).
-
-    Args:
-        vectors: flat parameter vectors of identical shape.
-        weights: non-negative weights, one per vector, with a positive sum
-            (normalized internally).
-
-    Returns:
-        The float64 weighted average vector.
-
-    Raises:
-        ValueError: on empty input, length mismatch, or invalid weights.
-    """
-    if not vectors:
-        raise ValueError("nothing to average")
-    if len(vectors) != len(weights):
-        raise ValueError(f"{len(vectors)} vectors vs {len(weights)} weights")
-    w = np.asarray(weights, dtype=np.float64)
-    if (w < 0).any() or w.sum() <= 0:
-        raise ValueError("weights must be non-negative with positive sum")
-    w = w / w.sum()
-    out = np.zeros_like(vectors[0], dtype=np.float64)
-    for v, wi in zip(vectors, w):
-        out += wi * v
-    return out
-
-
-def average_states(
-    states: list[dict[str, np.ndarray]], weights: list[float]
-) -> dict[str, np.ndarray]:
-    """Weighted average of non-trainable buffers (batch-norm stats).
-
-    Args:
-        states: per-client state dicts sharing one key set.
-        weights: non-negative weights, one per state (normalized
-            internally).
-
-    Returns:
-        A new state dict of float64 weighted averages (empty if ``states``
-        is empty).
-    """
-    if not states:
-        return {}
-    w = np.asarray(weights, dtype=np.float64)
-    w = w / w.sum()
-    keys = states[0].keys()
-    out: dict[str, np.ndarray] = {}
-    for key in keys:
-        acc = np.zeros_like(states[0][key], dtype=np.float64)
-        for s, wi in zip(states, w):
-            acc += wi * s[key]
-        out[key] = acc
-    return out
 
 
 class FederatedAlgorithm(ABC):
@@ -241,6 +193,15 @@ class FederatedAlgorithm(ABC):
         #: from the config; the shared no-op sink until then (and forever,
         #: with the default ``telemetry="off"``)
         self.telemetry = NULL_TELEMETRY
+        #: byzantine-attack model (:mod:`repro.fl.attacks`), built by
+        #: ``run`` from the config; the shared no-op attack until then
+        #: (and forever, with the default ``attack="none"``)
+        self.attack: AttackModel = NULL_ATTACK
+        #: server aggregation rule (:mod:`repro.fl.aggregation`), built
+        #: by ``run`` from the config; the shared seed-rule (weighted
+        #: mean) instance until then, so hooks called outside ``run``
+        #: (direct ``aggregate`` calls in tests) keep the seed behaviour
+        self.aggregator: Aggregator = WEIGHTED
 
     @property
     def model(self) -> Sequential:
@@ -360,6 +321,43 @@ class FederatedAlgorithm(ABC):
             merged.append(u)
         self.aggregate(flush_idx, merged)
 
+    # ------------------------------------------------------------------
+    # aggregation rule (:mod:`repro.fl.aggregation`)
+    # ------------------------------------------------------------------
+    def combine(
+        self,
+        vectors: list[np.ndarray],
+        weights: Sequence[float],
+        ref: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Merge parameter vectors through the configured aggregation rule.
+
+        Algorithms call this from ``aggregate`` instead of
+        :func:`weighted_average` so robust rules (median, trimmed mean,
+        Krum, norm clipping) plug in beneath every method — per cluster,
+        for the clustered ones.  With the default ``weighted`` rule this
+        *is* ``weighted_average``, bit-for-bit.  Staleness discounts
+        already ride in ``weights`` (``merge`` scales ``n_samples``).
+
+        Args:
+            vectors: flat parameter vectors of identical shape.
+            weights: non-negative aggregation weights.
+            ref: the server parameters this cohort trained from (before
+                this aggregation) — the delta base for norm clipping.
+        """
+        return self.aggregator.combine(vectors, list(weights), ref=ref)
+
+    def combine_states(
+        self, states: list[dict[str, np.ndarray]], weights: Sequence[float]
+    ) -> dict[str, np.ndarray]:
+        """Merge non-trainable buffers through the configured rule.
+
+        Must be called right after the :meth:`combine` over the same
+        member list (selection rules reuse their choice); with the
+        default rule this is :func:`average_states`, bit-for-bit.
+        """
+        return self.aggregator.combine_states(states, list(weights))
+
     def eval_params_for_client(self, client_id: int) -> np.ndarray:
         """Model evaluated on a client's local test set (defaults to the
         model it would train)."""
@@ -466,7 +464,7 @@ class FederatedAlgorithm(ABC):
         "codec", "network", "scheduler", "population",
         "_eligible", "_ran",
         "on_checkpoint", "checkpoint_meta", "_fingerprint",
-        "telemetry",
+        "telemetry", "attack", "aggregator",
     })
 
     def checkpoint_state(self) -> dict:
@@ -564,6 +562,14 @@ class FederatedAlgorithm(ABC):
         self._fingerprint = run_fingerprint(self)
         if ckpt is not None:
             check_compatible(ckpt, self)
+        # Adversaries are drawn over the *full* id space before the
+        # population detaches its joiner pool (late joiners carry their
+        # allegiance in) and before any process backend forks (workers
+        # inherit the immutable roster).  The aggregation rule is built
+        # alongside; with the defaults both are the shared no-op /
+        # seed-rule objects and nothing downstream changes.
+        self.attack = make_attack(cfg, self.fed.num_clients, self.rngs)
+        self.aggregator = make_aggregator(cfg)
         # The population binds first: a joining model detaches its pool
         # here, so round-0 setup and the network/backend below only ever
         # see the initial roster (total size is passed for id-keyed
@@ -614,9 +620,16 @@ class FederatedAlgorithm(ABC):
         if self.telemetry is NULL_TELEMETRY:
             self.telemetry = make_telemetry(cfg)
         self.codec.telemetry = self.telemetry
+        self.aggregator.telemetry = self.telemetry
         self.telemetry.begin_run(
             self, resumed_from=None if ckpt is None else int(ckpt.round)
         )
+        if self.attack.enabled:
+            # the NULL_ATTACK singleton is shared across runs, so only a
+            # real per-run attack model gets the live sink attached
+            self.attack.telemetry = self.telemetry
+            for cid in self.attack.roster:
+                self.telemetry.emit("attack_assign", client=int(cid))
         try:
             if ckpt is None:
                 t0 = time.perf_counter()
@@ -777,12 +790,19 @@ class FederatedAlgorithm(ABC):
                 )
                 offset += p.size
             opt.set_prox_center(center)
+        train_y = client.train_y
+        attack = self.attack
+        if attack.flips_labels and attack.poisons(client_id, round_idx):
+            # data poisoning (labelflip): a pure read of the immutable
+            # adversary roster plus a fresh target array, so the hook is
+            # safe on any execution backend and the shard stays honest
+            train_y = attack.flip_labels(train_y, self.fed.num_classes)
         rng = self.rngs.make(f"client{client_id}.train", round_idx)
         loss, steps = local_sgd(
             model,
             opt,
             client.train_x,
-            client.train_y,
+            train_y,
             epochs=epochs if epochs is not None else cfg.local_epochs,
             batch_size=cfg.batch_size,
             rng=rng,

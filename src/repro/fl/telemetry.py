@@ -87,6 +87,8 @@ EVENT_TYPES = (
     "cancel",      # semisync cancelled a straggler past its quorum
     "arrival",     # a delivered upload: client, virtual t, staleness, flush
     "population",  # an applied membership event (join/leave/return)
+    "attack_assign",    # a client was marked byzantine at run start
+    "poisoned_update",  # an adversary's upload was poisoned pre-wire
     "record",      # one RoundRecord committed (scalars + metrics snapshot)
     "checkpoint",  # a periodic checkpoint was written
     "run_end",     # the run finished; total records

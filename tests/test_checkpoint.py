@@ -121,6 +121,12 @@ class TestCrashInjection:
         "growth-random-boundary": (
             {"scheduler": "sync", "population": "growth"}, None,
         ),
+        # mid-attack kill: the resumed run must re-derive the identical
+        # adversary roster and replay the poisoned rounds bit-for-bit
+        "sync-signflip-median": (
+            {"scheduler": "sync", "attack": "signflip:frac=0.25",
+             "aggregator": "median"}, 2,
+        ),
     }
 
     def _crash(self, tmp_path, fl_options, kill_at):
@@ -195,6 +201,11 @@ class TestResumeEquivalence:
         "scaffold-thread": (
             "scaffold", {"scheduler": "sync", "backend": "thread"},
         ),
+        "fedclust-scale-trimmed": (
+            "fedclust",
+            {"scheduler": "sync", "attack": "scale:frac=0.25",
+             "aggregator": "trimmed:trim=0.25"},
+        ),
     }
 
     @pytest.mark.parametrize("name", sorted(SWEEP))
@@ -213,6 +224,23 @@ class TestResumeEquivalence:
             assert canonical_history(history) == base, (
                 f"{name}: resume at boundary {r} diverged"
             )
+
+    def test_resume_restores_attacker_roster(self, tmp_path):
+        """A resumed attacked run re-derives the same roster; the
+        checkpoint's copy cross-checks it (mismatch raises)."""
+        fl_options = {"attack": "signflip:frac=0.25"}
+        algo, saved = _checkpointed_cell(tmp_path, fl_options)
+        algo.run()
+        assert len(algo.attack.roster) == 2  # round(0.25 * 6)
+        resumed = _cell({"rounds": ROUNDS}, fl_options)
+        resumed.run(resume_from=str(saved[2]))
+        assert resumed.attack.roster == algo.attack.roster
+        # a checkpoint whose roster disagrees is refused
+        ckpt = load_checkpoint(str(saved[2]))
+        ckpt.state["attack"]["roster"] = [0]
+        fresh = _cell({"rounds": ROUNDS}, fl_options)
+        with pytest.raises(ValueError, match="roster"):
+            fresh.run(resume_from=ckpt)
 
     def test_cross_backend_resume(self, tmp_path):
         """All backends are bit-for-bit equivalent, so a checkpoint from a

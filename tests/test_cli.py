@@ -29,10 +29,11 @@ class TestCLI:
 
     def test_artifact_list_covers_paper(self):
         # every table (1-6) and figure (1, 3, 4) in the evaluation
-        # section, plus the dynamic-population study
+        # section, plus the dynamic-population and robustness studies
         assert set(ARTIFACTS) == {
             "figure1", "table1", "table2", "table3", "figure3",
             "table4", "table5", "figure4", "table6", "population",
+            "robustness",
         }
 
     def test_run_artifact_unknown_name(self):

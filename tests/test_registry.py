@@ -21,6 +21,8 @@ from repro.experiments.components import (
 from repro.experiments.runner import run_cell
 from repro.experiments.configs import SMOKE_SCALE
 from repro.fl import registry
+from repro.fl.aggregation import AGGREGATORS, KNOWN_AGG_KEYS, make_aggregator
+from repro.fl.attacks import ATTACKS, KNOWN_ATK_KEYS, make_attack
 from repro.fl.codecs import CODECS, IdentityCodec, TopKCodec, make_codec
 from repro.fl.config import FLConfig
 from repro.fl.execution import BACKENDS, make_backend
@@ -45,6 +47,12 @@ FACTORIES = {
     "population": lambda spec=None, config=None: make_population(
         config, num_clients=8, rngs=RngFactory(0), population=spec
     ),
+    "attack": lambda spec=None, config=None: make_attack(
+        config, num_clients=8, rngs=RngFactory(0), attack=spec
+    ),
+    "aggregator": lambda spec=None, config=None: make_aggregator(
+        config, aggregator=spec
+    ),
 }
 
 ALL_IMPLS = [
@@ -59,7 +67,7 @@ class TestRegistryShape:
         names = [f.name for f in registry.families()]
         assert names == [
             "backend", "codec", "network", "scheduler", "population",
-            "telemetry", "algorithm",
+            "telemetry", "attack", "aggregator", "algorithm",
         ]
 
     def test_legacy_dicts_derive_from_registry(self):
@@ -68,15 +76,21 @@ class TestRegistryShape:
         assert NETWORKS == registry.classes("network")
         assert SCHEDULERS == registry.classes("scheduler")
         assert POPULATIONS == registry.classes("population")
+        assert ATTACKS == registry.classes("attack")
+        assert AGGREGATORS == registry.classes("aggregator")
         assert ALGORITHMS == registry.classes("algorithm")
 
     def test_known_prefix_keys_derived(self):
         assert KNOWN_NET_KEYS == registry.known_prefix_keys("network")
         assert KNOWN_SCHED_KEYS == registry.known_prefix_keys("scheduler")
         assert KNOWN_POP_KEYS == registry.known_prefix_keys("population")
+        assert KNOWN_ATK_KEYS == registry.known_prefix_keys("attack")
+        assert KNOWN_AGG_KEYS == registry.known_prefix_keys("aggregator")
         assert "net_straggler_factor" in KNOWN_NET_KEYS
         assert "pop_session" in KNOWN_POP_KEYS
         assert "sched_concurrency" in KNOWN_SCHED_KEYS
+        assert "atk_frac" in KNOWN_ATK_KEYS
+        assert "agg_trim_frac" in KNOWN_AGG_KEYS
 
     def test_every_algorithm_registered_with_class(self):
         fam = registry.get_family("algorithm")
@@ -455,11 +469,19 @@ class TestGoldenEquivalence:
             dict(codec="topk", network="stragglers", deadline=40.0),
             dict(lam="auto"),
         ),
+        # 4th element: partition scheme (default label_skew) — pins the
+        # Table-3 Dirichlet path into the determinism contract too.
+        "fedclust-dirichlet": ("fedclust", dict(), dict(lam="auto"),
+                               "dirichlet"),
     }
 
     @staticmethod
-    def _fed():
+    def _fed(scheme: str = "label_skew"):
         ds = make_dataset("cifar10", seed=0, n_samples=240, size=8)
+        if scheme == "dirichlet":
+            return build_federated_dataset(
+                ds, "dirichlet", num_clients=6, alpha=0.3, rng=0,
+            )
         return build_federated_dataset(
             ds, "label_skew", num_clients=6, frac_labels=0.2, rng=0,
             num_label_sets=3,
@@ -467,8 +489,8 @@ class TestGoldenEquivalence:
 
     @pytest.mark.parametrize("case", sorted(CASES))
     def test_matches_pre_refactor_capture(self, case, golden_compare):
-        method, cfg_kw, extra = self.CASES[case]
-        fed = self._fed()
+        method, cfg_kw, extra, *rest = self.CASES[case]
+        fed = self._fed(rest[0] if rest else "label_skew")
         cfg = FLConfig(
             rounds=3, sample_rate=0.6, local_epochs=1, batch_size=10,
             lr=0.05, eval_every=1, **cfg_kw

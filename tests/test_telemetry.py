@@ -199,8 +199,8 @@ class TestGoldenReplay:
     def test_golden_with_telemetry_replays(
         self, case, tmp_path, golden_compare
     ):
-        method, cfg_kw, extra = TestGoldenEquivalence.CASES[case]
-        fed = TestGoldenEquivalence._fed()
+        method, cfg_kw, extra, *rest = TestGoldenEquivalence.CASES[case]
+        fed = TestGoldenEquivalence._fed(rest[0] if rest else "label_skew")
         cfg = FLConfig(
             rounds=3, sample_rate=0.6, local_epochs=1, batch_size=10,
             lr=0.05, eval_every=1, telemetry="on", **cfg_kw
