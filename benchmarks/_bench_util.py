@@ -6,14 +6,26 @@ through :func:`write_bench_json` — ``benchmarks/out/BENCH_<n>.json`` for
 the numbered per-PR perf-trajectory files the ROADMAP asks for
 (comparable across commits; CI uploads them as artifacts), or any other
 stable name for per-bench rows.
+
+Run as a script with ``--collect`` to merge every ``BENCH_*.json``
+present under ``benchmarks/out/`` into one ``TRAJECTORY.json`` — the
+numbered rows in PR order plus a tiny summary header — which CI uploads
+next to the per-bench rows so one artifact tells the whole perf story::
+
+    PYTHONPATH=src python benchmarks/_bench_util.py --collect
 """
 
 from __future__ import annotations
 
+import argparse
 import json
+import re
+import sys
 from pathlib import Path
 
 OUT_DIR = Path(__file__).parent / "out"
+
+_BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
 
 
 def write_bench_json(row: dict, name: str) -> Path:
@@ -23,3 +35,58 @@ def write_bench_json(row: dict, name: str) -> Path:
     path = OUT_DIR / f"{name}.json"
     path.write_text(json.dumps(row, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def collect_trajectory(out_dir: Path = OUT_DIR) -> dict:
+    """Merge every ``BENCH_<n>.json`` under ``out_dir`` into one record.
+
+    Returns ``{"benches": {"<n>": row, ...}, "count": N, "missing":
+    [...]}`` with rows keyed (and ordered) by their PR number; ``missing``
+    lists the gaps in the numbered sequence so a trajectory reader can
+    tell "bench never ran in this CI job" from "bench was never written".
+    """
+    rows: dict[int, dict] = {}
+    for path in sorted(out_dir.glob("BENCH_*.json")):
+        m = _BENCH_RE.match(path.name)
+        if not m:
+            continue
+        try:
+            rows[int(m.group(1))] = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError) as exc:
+            rows[int(m.group(1))] = {"error": f"unreadable: {exc}"}
+    numbers = sorted(rows)
+    missing = (
+        [n for n in range(numbers[0], numbers[-1] + 1) if n not in rows]
+        if numbers
+        else []
+    )
+    return {
+        "benches": {str(n): rows[n] for n in numbers},
+        "count": len(rows),
+        "missing": missing,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--collect", action="store_true",
+        help="merge benchmarks/out/BENCH_*.json into TRAJECTORY.json",
+    )
+    args = parser.parse_args(argv)
+    if not args.collect:
+        parser.error("nothing to do; pass --collect")
+    trajectory = collect_trajectory()
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / "TRAJECTORY.json"
+    path.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+    names = ", ".join(f"BENCH_{n}" for n in sorted(trajectory["benches"]))
+    print(
+        f"collected {trajectory['count']} rows ({names or 'none'}) "
+        f"into {path}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,9 @@ class FedAvg(FederatedAlgorithm):
     """McMahan et al. (2017): weighted averaging of client models."""
 
     name = "fedavg"
+    # aggregate() is a plain weighted combine over the cohort, so edge
+    # pre-reduction under topology="hier" preserves the method
+    supports_hier = True
     exec_state_attrs = FederatedAlgorithm.exec_state_attrs + (
         "global_params",
         "global_state",
@@ -90,6 +93,9 @@ class FedNova(FedAvg):
     """
 
     name = "fednova"
+    # the normalized-direction algebra needs every member's own tau, so
+    # edge summaries would change the method — hier is rejected
+    supports_hier = False
 
     def aggregate(self, round_idx: int, updates: list[ClientUpdate]) -> None:
         if not updates:

@@ -4,12 +4,16 @@ from repro.data.datasets import DATASET_SPECS, Dataset, DatasetSpec, make_datase
 from repro.data.federated import (
     ClientData,
     FederatedDataset,
+    LazyFederatedDataset,
     build_federated_dataset,
+    build_lazy_federated_dataset,
     grouped_label_partition,
 )
 from repro.data.partition import (
     PARTITIONERS,
+    BlockIndices,
     Partition,
+    contiguous_partition,
     dirichlet_partition,
     iid_partition,
     label_skew_partition,
@@ -25,14 +29,18 @@ __all__ = [
     "make_dataset",
     "ClientData",
     "FederatedDataset",
+    "LazyFederatedDataset",
     "build_federated_dataset",
+    "build_lazy_federated_dataset",
     "grouped_label_partition",
     "Partition",
+    "BlockIndices",
     "PARTITIONERS",
     "iid_partition",
     "label_skew_partition",
     "dirichlet_partition",
     "quantity_skew_partition",
+    "contiguous_partition",
     "make_partition",
     "make_prototypes",
     "sample_class_images",

@@ -8,6 +8,8 @@ and the partition statistics the experiments report.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -17,7 +19,14 @@ from repro.data.partition import Partition, make_partition
 from repro.utils.maths import emd_heterogeneity, label_histogram
 from repro.utils.rng import as_generator
 
-__all__ = ["ClientData", "FederatedDataset", "build_federated_dataset", "grouped_label_partition"]
+__all__ = [
+    "ClientData",
+    "FederatedDataset",
+    "LazyFederatedDataset",
+    "build_federated_dataset",
+    "build_lazy_federated_dataset",
+    "grouped_label_partition",
+]
 
 
 @dataclass
@@ -187,6 +196,256 @@ class FederatedDataset:
             name=f"{self.name}.newcomers",
         )
         return base, new
+
+
+#: domain-separation constant keying per-client shard permutations in
+#: :class:`LazyFederatedDataset` (mixed into the ``default_rng`` seed
+#: tuple so shard draws never collide with any other keyed stream)
+_SHARD_KEY = 0x5A4D
+
+
+class LazyFederatedDataset(FederatedDataset):
+    """On-demand client shards with LRU page-out — memory O(resident set).
+
+    The eager :class:`FederatedDataset` materializes every client's
+    train/test arrays up front, which is O(population) memory and the
+    reason the seed engine topped out at a few thousand clients.  This
+    container keeps only the *partition description* (ideally a lazy one
+    — :class:`repro.data.partition.BlockIndices`) plus the underlying
+    dataset, and synthesizes ``ClientData`` shards the moment a client
+    is touched (training, evaluation), caching at most ``cache_clients``
+    of them in an LRU.
+
+    Shard contents are a **pure function** of ``(seed, client_id)``:
+    each client's train/test permutation comes from its own keyed
+    ``default_rng((seed, _SHARD_KEY, client_id))`` stream, so a paged-out
+    shard re-materializes bit-for-bit identical, eviction order cannot
+    affect results, and forked process workers rebuild exactly the
+    shards their own tasks touch (nothing else ever becomes resident in
+    the worker).  Note this per-client keying intentionally differs from
+    the eager builder's single shared split generator — the two
+    containers are distinct components, not bitwise aliases; pinned
+    goldens all use the eager builder.
+
+    Thread-safe (the thread backend's workers share the cache under one
+    lock); pickling drops the cache and lock — residency is derivable,
+    not state (a checkpoint records resident *ids* separately so a
+    resume can re-warm the working set, see
+    :mod:`repro.fl.checkpoint`).
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        partition: Partition,
+        test_fraction: float = 0.2,
+        seed: int = 0,
+        cache_clients: int = 1024,
+        name: str | None = None,
+    ):
+        if not 0.0 < test_fraction < 1.0:
+            raise ValueError(
+                f"test_fraction must be in (0, 1), got {test_fraction}"
+            )
+        if cache_clients < 1:
+            raise ValueError(
+                f"cache_clients must be >= 1, got {cache_clients}"
+            )
+        if partition.num_clients < 1:
+            raise ValueError("partition must describe at least one client")
+        self._dataset = dataset
+        self.partition = partition
+        self.num_classes = dataset.num_classes
+        self.input_shape = dataset.input_shape
+        self.test_fraction = float(test_fraction)
+        self.seed = int(seed)
+        self.cache_clients = int(cache_clients)
+        self.name = name or f"{dataset.name}.lazy"
+        #: active roster size (shrinks under detach_joiners, grows on attach)
+        self._active = partition.num_clients
+        self._cache: OrderedDict[int, ClientData] = OrderedDict()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # materialization and residency
+    # ------------------------------------------------------------------
+    def _materialize(self, cid: int) -> ClientData:
+        """Build one client's shard from its keyed permutation (pure)."""
+        idx = np.asarray(self.partition.client_indices[cid])
+        rng = np.random.default_rng((self.seed, _SHARD_KEY, int(cid)))
+        idx = rng.permutation(idx)
+        n_test = min(
+            max(1, int(round(self.test_fraction * idx.size))), idx.size - 1
+        )
+        test_ix, train_ix = idx[:n_test], idx[n_test:]
+        ds = self._dataset
+        return ClientData(
+            client_id=int(cid),
+            train_x=ds.x[train_ix],
+            train_y=ds.y[train_ix],
+            test_x=ds.x[test_ix],
+            test_y=ds.y[test_ix],
+        )
+
+    def __getitem__(self, i: int) -> ClientData:
+        cid = int(i)
+        if cid < 0:
+            cid += self._active
+        if not 0 <= cid < self._active:
+            raise IndexError(f"client {i} out of range (roster {self._active})")
+        with self._lock:
+            shard = self._cache.get(cid)
+            if shard is not None:
+                self._cache.move_to_end(cid)
+                return shard
+            shard = self._materialize(cid)
+            self._cache[cid] = shard
+            while len(self._cache) > self.cache_clients:
+                self._cache.popitem(last=False)  # page out, LRU first
+            return shard
+
+    def __len__(self) -> int:
+        return self._active
+
+    def __iter__(self):
+        for cid in range(self._active):
+            yield self[cid]
+
+    @property
+    def num_clients(self) -> int:
+        return self._active
+
+    def resident_shards(self) -> int:
+        """How many shards are materialized right now (telemetry gauge)."""
+        with self._lock:
+            return len(self._cache)
+
+    def resident_ids(self) -> list[int]:
+        """Sorted resident client ids (checkpointed so a resume re-warms)."""
+        with self._lock:
+            return sorted(self._cache)
+
+    def warm(self, ids) -> None:
+        """Pre-materialize ``ids`` (resume path; respects the LRU cap)."""
+        for cid in ids:
+            self[int(cid)]
+
+    def drop_cache(self) -> None:
+        """Page out every resident shard (tests, memory pressure)."""
+        with self._lock:
+            self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # metadata without materialization
+    # ------------------------------------------------------------------
+    def total_train_samples(self) -> int:
+        total = 0
+        for n in self.partition.sizes()[: self._active]:
+            n = int(n)
+            total += n - min(max(1, int(round(self.test_fraction * n))), n - 1)
+        return total
+
+    def label_hists(self) -> np.ndarray:
+        """(clients, classes) train label histograms — touches only ``y``
+        (per-client index permutations, never the feature arrays)."""
+        out = np.zeros((self._active, self.num_classes), dtype=np.float64)
+        y = self._dataset.y
+        for cid in range(self._active):
+            idx = np.asarray(self.partition.client_indices[cid])
+            rng = np.random.default_rng((self.seed, _SHARD_KEY, cid))
+            idx = rng.permutation(idx)
+            n_test = min(
+                max(1, int(round(self.test_fraction * idx.size))), idx.size - 1
+            )
+            out[cid] = label_histogram(y[idx[n_test:]], self.num_classes)
+        return out
+
+    def ground_truth_groups(self) -> np.ndarray | None:
+        if self.partition.client_label_sets is None:
+            return None
+        seen: dict[frozenset, int] = {}
+        out = np.empty(self._active, dtype=np.int64)
+        for cid in range(self._active):
+            s = self.partition.client_label_sets[cid]
+            out[cid] = seen.setdefault(s, len(seen))
+        return out
+
+    # ------------------------------------------------------------------
+    # dynamic populations
+    # ------------------------------------------------------------------
+    def detach_joiners(self, k: int) -> list[ClientData]:
+        """Hold out the tail ``k`` ids; their shards stay lazy (pure), so
+        detaching costs one materialization per joiner and nothing is
+        copied — the partition is never split (indexing is by id)."""
+        if not 0 < k < self._active:
+            raise ValueError(f"k must be in (0, {self._active}), got {k}")
+        pool = [self[cid] for cid in range(self._active - k, self._active)]
+        self._active -= k
+        return pool
+
+    def attach(self, client: ClientData) -> None:
+        if client.client_id != self._active:
+            raise ValueError(
+                f"client_id {client.client_id} breaks id contiguity; "
+                f"expected {self._active}"
+            )
+        self._active += 1
+        with self._lock:
+            # the joiner's shard is already materialized; keep it warm
+            self._cache[int(client.client_id)] = client
+            self._cache.move_to_end(int(client.client_id))
+            while len(self._cache) > self.cache_clients:
+                self._cache.popitem(last=False)
+
+    def split_newcomers(self, k: int):
+        raise NotImplementedError(
+            "split_newcomers builds two eager dataset views; use "
+            "build_federated_dataset for the Table-6 newcomer protocol"
+        )
+
+    # ------------------------------------------------------------------
+    # pickling (process backend / checkpoints): residency is derivable
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_cache"] = OrderedDict()
+        state["_lock"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+
+def build_lazy_federated_dataset(
+    dataset: Dataset,
+    scheme: str,
+    num_clients: int,
+    rng: int | np.random.Generator = 0,
+    test_fraction: float = 0.2,
+    seed: int = 0,
+    cache_clients: int = 1024,
+    **partition_params,
+) -> LazyFederatedDataset:
+    """Partition ``dataset`` lazily: shards materialize on first touch.
+
+    Mirrors :func:`build_federated_dataset` but returns a
+    :class:`LazyFederatedDataset`; with ``scheme="contiguous"`` the
+    partition itself is O(1) memory too, which is the million-client
+    configuration (``benchmarks/bench_scale.py``).
+    """
+    part = make_partition(
+        scheme, dataset.y, num_clients, rng=rng, **partition_params
+    )
+    part.validate_disjoint(len(dataset))
+    return LazyFederatedDataset(
+        dataset,
+        part,
+        test_fraction=test_fraction,
+        seed=seed,
+        cache_clients=cache_clients,
+        name=dataset.name,
+    )
 
 
 def build_federated_dataset(

@@ -25,13 +25,76 @@ from repro.utils.rng import as_generator
 
 __all__ = [
     "Partition",
+    "BlockIndices",
     "iid_partition",
     "label_skew_partition",
     "dirichlet_partition",
     "quantity_skew_partition",
+    "contiguous_partition",
     "PARTITIONERS",
     "make_partition",
 ]
+
+
+class BlockIndices:
+    """Lazy per-client index blocks: ``np.array_split`` semantics, O(1) memory.
+
+    Behaves like the list of per-client index arrays a ``Partition``
+    normally carries, but each client's array is an ``np.arange`` view
+    synthesized on access — nothing proportional to the population is
+    ever stored.  This is what lets a million-client federation describe
+    its partition without a million materialized index arrays
+    (``benchmarks/bench_scale.py``).
+
+    The split matches ``np.array_split(np.arange(n_samples), num_clients)``
+    exactly: the first ``n_samples % num_clients`` clients get one extra
+    sample.
+    """
+
+    __slots__ = ("n_samples", "num_clients", "_base", "_rem")
+
+    def __init__(self, n_samples: int, num_clients: int):
+        n_samples, num_clients = int(n_samples), int(num_clients)
+        if num_clients <= 0:
+            raise ValueError(f"num_clients must be positive, got {num_clients}")
+        if n_samples < num_clients:
+            raise ValueError(
+                f"cannot split {n_samples} samples across {num_clients} clients"
+            )
+        self.n_samples = n_samples
+        self.num_clients = num_clients
+        self._base, self._rem = divmod(n_samples, num_clients)
+
+    def __len__(self) -> int:
+        return self.num_clients
+
+    def bounds(self, i: int) -> tuple[int, int]:
+        """``[start, stop)`` sample range of client ``i`` (no array built)."""
+        if i < 0:
+            i += self.num_clients
+        if not 0 <= i < self.num_clients:
+            raise IndexError(f"client index {i} out of range")
+        start = i * self._base + min(i, self._rem)
+        return start, start + self._base + (1 if i < self._rem else 0)
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return [self[j] for j in range(*i.indices(self.num_clients))]
+        start, stop = self.bounds(i)
+        return np.arange(start, stop, dtype=np.int64)
+
+    def __iter__(self):
+        for i in range(self.num_clients):
+            yield self[i]
+
+    def sizes(self) -> np.ndarray:
+        """Vectorized per-client shard sizes (no per-client arrays)."""
+        return self._base + (
+            np.arange(self.num_clients, dtype=np.int64) < self._rem
+        ).astype(np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BlockIndices({self.n_samples}, {self.num_clients})"
 
 
 @dataclass
@@ -50,10 +113,20 @@ class Partition:
         return len(self.client_indices)
 
     def sizes(self) -> np.ndarray:
+        lazy = getattr(self.client_indices, "sizes", None)
+        if lazy is not None:
+            return lazy()
         return np.array([len(ix) for ix in self.client_indices])
 
     def validate_disjoint(self, n_total: int) -> None:
         """Raise if any sample is assigned twice or out of range."""
+        if isinstance(self.client_indices, BlockIndices):
+            # contiguous blocks are disjoint by construction; only the
+            # coverage bound needs checking (and a full sweep would
+            # materialize a million tiny arrays at bench scale)
+            if self.client_indices.n_samples > n_total:
+                raise ValueError("partition index out of range")
+            return
         seen = np.zeros(n_total, dtype=bool)
         for ix in self.client_indices:
             if ix.size and (ix.min() < 0 or ix.max() >= n_total):
@@ -274,11 +347,34 @@ def quantity_skew_partition(
     )
 
 
+def contiguous_partition(
+    n_samples: int, num_clients: int, rng: int | np.random.Generator = 0
+) -> Partition:
+    """Equal contiguous blocks, described lazily (:class:`BlockIndices`).
+
+    The only partitioner whose memory does not scale with the population:
+    client ``i`` owns samples ``[i*b + min(i, r), ...)`` for
+    ``b, r = divmod(n_samples, num_clients)``.  Label distributions are
+    whatever the dataset's sample order gives — the scheme exists for
+    population-scale engineering runs (``benchmarks/bench_scale.py``),
+    not heterogeneity studies.  ``rng`` is accepted for dispatch
+    uniformity and ignored (the split is deterministic).
+    """
+    return Partition(
+        BlockIndices(n_samples, num_clients),
+        "contiguous",
+        {"num_clients": int(num_clients)},
+    )
+
+
 PARTITIONERS = {
     "iid": iid_partition,
     "label_skew": label_skew_partition,
     "dirichlet": dirichlet_partition,
     "quantity_skew": quantity_skew_partition,
+    "contiguous": lambda labels, num_clients, rng=0: contiguous_partition(
+        np.asarray(labels).size, num_clients, rng
+    ),
 }
 
 

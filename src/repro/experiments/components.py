@@ -33,7 +33,7 @@ __all__ = [
 #: per cell by the artifact runners, not via a global flag)
 CLI_FAMILIES = (
     "backend", "codec", "network", "scheduler", "population", "telemetry",
-    "attack", "aggregator",
+    "attack", "aggregator", "topology",
 )
 
 #: files carrying a generated flag-table block, relative to the repo root

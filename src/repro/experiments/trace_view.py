@@ -25,6 +25,11 @@ from repro.fl.telemetry import load_events, replay_history
 
 __all__ = ["inspect_run"]
 
+#: gauges sourced from host measurements (``metrics.json`` totals only,
+#: never in per-record snapshots) — flagged in the digest so readers
+#: know they vary across machines while everything else reproduces
+_VOLATILE_GAUGES = frozenset({"peak_rss_mb"})
+
 
 def _fmt_rows(rows: list[list[str]], header: list[str]) -> list[str]:
     widths = [
@@ -98,6 +103,28 @@ def inspect_run(target: str | Path) -> str:
     for kind, n in sorted(census.items()):
         out.append(f"  {kind:<16} {n}")
 
+    edge_events = [e for e in events if e.get("type") == "edge"]
+    if edge_events:
+        per_edge: dict[int, list[int]] = {}
+        for e in edge_events:
+            row = per_edge.setdefault(int(e.get("edge", -1)), [0, 0, 0])
+            row[0] += 1
+            row[1] += int(e.get("members", 0))
+            row[2] += int(e.get("nbytes", 0))
+        out.append("")
+        out.append(
+            f"edge tier (hierarchical topology, {len(per_edge)} edges):"
+        )
+        rows = [
+            [str(edge), str(ups), str(members), f"{nbytes / 1e6:.3f}"]
+            for edge, (ups, members, nbytes) in sorted(per_edge.items())
+        ]
+        out.extend(
+            "  " + line for line in _fmt_rows(
+                rows, ["edge", "uploads", "members", "Mb_up"]
+            )
+        )
+
     metrics_path = run_dir / "metrics.json"
     if metrics_path.exists():
         metrics = json.loads(metrics_path.read_text())
@@ -107,6 +134,13 @@ def inspect_run(target: str | Path) -> str:
             out.append("counters (run totals):")
             for name, value in sorted(counters.items()):
                 out.append(f"  {name:<20} {value}")
+        gauges = metrics.get("totals", {}).get("gauges", {})
+        if gauges:
+            out.append("")
+            out.append("gauges (last value; host measurements marked ~):")
+            for name, value in sorted(gauges.items()):
+                mark = "~" if name in _VOLATILE_GAUGES else " "
+                out.append(f"  {name:<20} {mark}{value:g}")
         hists = metrics.get("totals", {}).get("histograms", {})
         if hists:
             out.append("")

@@ -67,6 +67,8 @@ from repro.fl.telemetry import NULL_TELEMETRY
 __all__ = [
     "weighted_average",
     "average_states",
+    "AggregationAccumulator",
+    "StreamingMeanAccumulator",
     "Aggregator",
     "WeightedAggregator",
     "MedianAggregator",
@@ -155,6 +157,106 @@ def _stack(vectors: list[np.ndarray], weights: list[float]) -> tuple[np.ndarray,
     return matrix, w / w.sum()
 
 
+class AggregationAccumulator:
+    """Streaming view of one aggregation: feed members one at a time.
+
+    Obtained from :meth:`Aggregator.accumulator`; callers ``update`` each
+    member (vector, weight, optional state dict) as it arrives — dropping
+    their own reference immediately — and ``finalize`` once to get the
+    combined ``(params, state)`` pair.
+
+    This base implementation buffers the members and delegates to the
+    rule's ``combine``/``combine_states`` at finalize, so it is **exactly**
+    (bit-for-bit) the batch result for every rule.  Robust rules (median,
+    trimmed, krum, clip) inherently need the full member set, so their
+    memory stays O(members); the weighted mean overrides this with a true
+    O(1)-memory running sum (:class:`StreamingMeanAccumulator`).
+    """
+
+    def __init__(self, agg: "Aggregator", ref: np.ndarray | None = None):
+        self._agg = agg
+        self._ref = ref
+        self._vectors: list[np.ndarray] = []
+        self._weights: list[float] = []
+        self._states: list[dict | None] = []
+        #: members fed so far
+        self.count = 0
+
+    def update(
+        self,
+        vector: np.ndarray,
+        weight: float,
+        state: dict[str, np.ndarray] | None = None,
+    ) -> None:
+        """Feed one member's flat parameter vector (and optional state)."""
+        self._vectors.append(vector)
+        self._weights.append(float(weight))
+        self._states.append(state)
+        self.count += 1
+
+    def finalize(self) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        """Combine everything fed so far into one ``(params, state)``.
+
+        Raises:
+            ValueError: if no member was fed.
+        """
+        if not self.count:
+            raise ValueError("nothing to aggregate")
+        params = self._agg.combine(
+            self._vectors, self._weights, ref=self._ref
+        )
+        state: dict[str, np.ndarray] = {}
+        if self._states[0]:
+            state = self._agg.combine_states(
+                [s or {} for s in self._states], self._weights
+            )
+        return params, state
+
+
+class StreamingMeanAccumulator(AggregationAccumulator):
+    """O(1)-memory running weighted mean (the ``weighted`` rule).
+
+    Keeps ``acc += w_i * v_i`` and divides by ``sum(w)`` at finalize.
+    :func:`weighted_average` normalizes the weights *before* summing, so
+    the streaming result can differ from the batch one by float64
+    round-off (documented tolerance ~1e-12 relative); the topology layer
+    therefore only uses accumulators on the genuinely hierarchical path,
+    never on the bitwise ``flat``/degenerate one.
+    """
+
+    def update(self, vector, weight, state=None):
+        w = float(weight)
+        if w < 0:
+            raise ValueError(f"negative weight: {w}")
+        if self.count == 0:
+            self._acc = np.asarray(vector, dtype=np.float64) * w
+            self._wsum = w
+            self._state_acc = (
+                {k: np.asarray(v, dtype=np.float64) * w
+                 for k, v in state.items()}
+                if state else None
+            )
+        else:
+            self._acc += w * np.asarray(vector, dtype=np.float64)
+            self._wsum += w
+            if self._state_acc is not None and state:
+                for k in self._state_acc:
+                    self._state_acc[k] += w * state[k]
+        self.count += 1
+
+    def finalize(self):
+        if not self.count:
+            raise ValueError("nothing to aggregate")
+        if self._wsum <= 0:
+            raise ValueError("weights must have a positive sum")
+        params = self._acc / self._wsum
+        state = (
+            {k: v / self._wsum for k, v in self._state_acc.items()}
+            if self._state_acc is not None else {}
+        )
+        return params, state
+
+
 class Aggregator:
     """Base class: how a list of client updates becomes one vector.
 
@@ -207,6 +309,17 @@ class Aggregator:
             out[key] = self.combine(flat, weights).reshape(states[0][key].shape)
         return out
 
+    def accumulator(
+        self, ref: np.ndarray | None = None
+    ) -> AggregationAccumulator:
+        """A fresh streaming accumulator over one aggregation.
+
+        The base accumulator buffers members and reproduces ``combine``
+        bit-for-bit; ``weighted`` overrides it with a true O(1)-memory
+        running mean (documented float64 round-off vs. the batch rule).
+        """
+        return AggregationAccumulator(self, ref=ref)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}()"
 
@@ -222,6 +335,9 @@ class WeightedAggregator(Aggregator):
 
     def combine_states(self, states, weights):
         return average_states(states, weights)
+
+    def accumulator(self, ref=None):
+        return StreamingMeanAccumulator(self, ref=ref)
 
 
 @register("aggregator", "median")

@@ -95,12 +95,14 @@ _CONFIG_FIELDS = (
     "weight_decay",
     "eval_every",
     "dropout_rate",
+    "eval_clients",
 )
 #: component families whose resolved (name, options) enter the fingerprint;
 #: ``backend`` is excluded — all backends are bit-for-bit equivalent, so
 #: resuming on a different backend is legal
 _FINGERPRINT_FAMILIES = (
     "codec", "network", "scheduler", "population", "attack", "aggregator",
+    "topology",
 )
 #: resolved options that may differ between the crashed and the resumed
 #: run without changing the trajectory
@@ -307,7 +309,15 @@ def capture(algo: "FederatedAlgorithm", scheduler_state: dict) -> Checkpoint:
             sorted(algo._eligible) if algo._eligible is not None else None
         ),
         "scheduler": scheduler_state,
+        # edge assignment is a pure function of the seed, so the section
+        # is a verification probe rather than replayable state
+        "topology": algo.topology.state_dict(),
     }
+    resident = getattr(algo.fed, "resident_ids", None)
+    if resident is not None:
+        # lazy dataset: the resident shard set (contents re-materialize
+        # purely from the seed; the ids restore the LRU's working set)
+        state["residency"] = [int(c) for c in resident()]
     return Checkpoint(
         round=int(scheduler_state["round"]),
         fingerprint=dict(algo._fingerprint),
@@ -343,6 +353,14 @@ def restore(algo: "FederatedAlgorithm", ckpt: Checkpoint) -> dict:
     # the attacker roster re-derives from the seed; the saved copy
     # cross-checks it (absent in pre-attack checkpoints: nothing to do)
     algo.attack.load_state_dict(state.get("attack", {}))
+    # topology: verify the resumed run's seeded edge assignment agrees
+    # (absent in pre-topology checkpoints: nothing to do)
+    algo.topology.load_state_dict(state.get("topology") or {})
+    residency = state.get("residency")
+    if residency is not None and hasattr(algo.fed, "warm"):
+        # re-materialize the crashed run's resident shard set so the
+        # resumed LRU starts from the identical working set
+        algo.fed.warm(int(c) for c in residency)
     return dict(state["scheduler"])
 
 

@@ -118,6 +118,22 @@ class FLConfig:
     #: (``"trimmed:trim=0.2"``).  Applied per cluster by the clustered
     #: methods; ``agg_*`` knobs go in ``extra``.
     aggregator: str = "auto"
+    #: aggregation topology (:mod:`repro.fl.topology`): ``"flat"`` (the
+    #: default — the scheduler hands the delivered cohort straight to
+    #: the algorithm, bit-for-bit the seed path), ``"hier"`` (two-tier:
+    #: ``topo_edges`` seeded edge aggregators reduce their members with
+    #: the configured ``aggregator`` and forward one summary each, with
+    #: the edge→cloud hop metered), ``"auto"`` (resolve from
+    #: ``REPRO_TOPOLOGY``), or an inline spec (``"hier:edges=4"``).
+    #: Only plain-combine algorithms (FedAvg/FedProx) accept ``hier``
+    #: with two or more edges.
+    topology: str = "auto"
+    #: clients evaluated per ``evaluate()`` call: 0 (the default)
+    #: evaluates every client — the seed behaviour, bit-for-bit — while
+    #: a positive value draws that many clients with a keyed seeded
+    #: generator per evaluation (million-client runs cannot afford a
+    #: full sweep)
+    eval_clients: int = 0
     #: save a resumable checkpoint (:mod:`repro.fl.checkpoint`) every N
     #: completed rounds (flushes, for ``buffered``).  ``None`` disables
     #: checkpointing (``REPRO_CHECKPOINT_EVERY`` can still enable it
@@ -148,6 +164,10 @@ class FLConfig:
         if not 0.0 <= self.dropout_rate < 1.0:
             raise ValueError(
                 f"dropout_rate must be in [0, 1), got {self.dropout_rate}"
+            )
+        if self.eval_clients < 0:
+            raise ValueError(
+                f"eval_clients must be >= 0, got {self.eval_clients}"
             )
         # Component specs, their option fields, and the extra-dict prefix
         # namespaces all validate against the registry declarations — one

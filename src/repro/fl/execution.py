@@ -47,6 +47,27 @@ Backends
     ``FederatedAlgorithm.exec_state_attrs`` and shipped to workers before
     every dispatch.  This is the backend that turns wall-clock speedups on
     multi-core hardware.
+
+Process backend and lazy shards
+-------------------------------
+
+With an eager :class:`~repro.data.federated.FederatedDataset` the fork
+inherits every client's materialised train/test arrays — cheap pages
+while untouched, but the *whole federation's* shards are addressable in
+every worker.  A :class:`~repro.data.federated.LazyFederatedDataset`
+changes the accounting: at fork time only the raw dataset and the (lazy)
+partition description are shared, and each worker materialises **exactly
+the shards its own tasks touch** (shard synthesis is a pure function of
+``(seed, client_id)``, so no coordination is needed and each worker's
+resident set stays bounded by its task chunk plus the LRU cap —
+asserted by ``tests/test_topology.py``).
+
+One limitation stands: **population joins still require a shared-memory
+backend** (serial/thread).  Workers fork before any joiner attaches, so
+a mid-run ``attach`` would grow the roster in the parent only; the
+engine rejects the combination at ``run()`` rather than diverge
+(:class:`repro.fl.server.FederatedAlgorithm` raises on
+``ProcessBackend`` + a joining population, lazy or not).
 """
 
 from __future__ import annotations

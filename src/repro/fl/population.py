@@ -71,6 +71,7 @@ scheduler or execution backend.
 from __future__ import annotations
 
 import heapq
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -160,6 +161,11 @@ class PopulationModel:
     name: str = "base"
     #: False → the engine skips every population hook (the static model)
     dynamic: bool = True
+    #: True → the model has no leave/return event stream: reachability is
+    #: answered per sampled client via :meth:`available` at wire-down
+    #: time, the engine keeps no eligibility set, and memory stays
+    #: O(cohort) instead of O(population) (churn's ``pop_lazy`` mode)
+    lazy: bool = False
 
     def __init__(self, num_clients: int, rngs: RngFactory, extra: dict | None = None):
         self.num_clients = int(num_clients)
@@ -220,6 +226,15 @@ class PopulationModel:
             due.append(event)
             self._on_emit(event)
         return due
+
+    def available(self, client_id: int, now: float) -> bool:
+        """Is ``client_id`` reachable at virtual time ``now``?
+
+        Only consulted for lazy models (``self.lazy``), by the
+        scheduler's wire-down; eventful models answer through the
+        leave/return stream instead.  The base model is always up.
+        """
+        return True
 
     def take_joiner(self, client_id: int) -> "ClientData":
         """Hand over a pool client's shard (exactly once, at its join)."""
@@ -307,6 +322,14 @@ class StaticPopulation(PopulationModel):
         low=0.0, high=1.0, low_inclusive=False,
         env="REPRO_POP_CHURN_FRAC", alias="churn_frac", only_for=("churn",),
         help="fraction of clients subject to churn (the rest never leave)"),
+    opt("pop_lazy", int, 0,
+        low=0, high=1,
+        env="REPRO_POP_LAZY", alias="lazy", only_for=("churn",),
+        help="1 = no per-client pre-roll: each sampled client's up/down "
+             "timeline is walked lazily from its pure keyed stream at "
+             "wire-down time (memory O(cohort), for million-client "
+             "populations; cohorts shrink by the offline fraction via "
+             "rejection instead of re-drawing)"),
 ])
 class ChurnPopulation(PopulationModel):
     """Seeded per-client up/down sessions, plus optional late joiners.
@@ -339,21 +362,73 @@ class ChurnPopulation(PopulationModel):
             raise ValueError(
                 f"pop_churn_frac must be in (0, 1], got {self.churn_frac}"
             )
+        self.lazy = bool(int(extra.get("pop_lazy", 0)))
         self._client_rng: dict[int, np.random.Generator] = {}
+        #: lazy mode: cid → (rng, interval_start, next_toggle, up) walk
+        #: positions, LRU-bounded — eviction is harmless because a walk
+        #: re-derives from its keyed stream
+        self._walk: OrderedDict[int, tuple] = OrderedDict()
+        self._walk_cap = 4096
+        #: lazy mode: join time per late joiner (offsets its walk origin)
+        self._join_time: dict[int, float] = {}
 
     def joiner_count(self) -> int:
         return self.joiners
 
     def begin(self, algo: "FederatedAlgorithm") -> None:
         super().begin(algo)
+        if self.lazy:
+            # no pre-roll: only join events (few) live on the heap;
+            # session timelines are walked per sampled client in
+            # available(), so begin costs O(joiners), not O(population)
+            return
         for cid in range(self.num_clients - len(self._pool)):
             rng = self.rngs.make("population.churn", cid)
             self._client_rng[cid] = rng
             if rng.random() < self.churn_frac:
                 self._push(rng.exponential(self.session), "leave", cid)
 
+    def available(self, client_id: int, now: float) -> bool:
+        """Walk the client's keyed on/off timeline up to ``now`` (lazy mode).
+
+        The draw sequence per client is identical to the eventful mode's
+        (churn gate, then alternating Exp(session)/Exp(gap)), so the two
+        modes describe the same stochastic process; only *when* draws
+        happen differs.  Walk positions are cached (LRU, ``_walk_cap``)
+        under the scheduler's monotone virtual clock; a query behind the
+        cached interval (fresh resume) simply re-walks from the origin.
+        """
+        if not self.lazy:
+            return True
+        cid = int(client_id)
+        entry = self._walk.get(cid)
+        if entry is not None and entry[1] > now:
+            entry = None  # cached walk is past `now`; re-derive from keys
+        if entry is None:
+            rng = self.rngs.make("population.churn", cid)
+            if rng.random() >= self.churn_frac:
+                entry = (None, 0.0, float("inf"), True)  # never churns
+            else:
+                t0 = float(self._join_time.get(cid, 0.0))
+                entry = (rng, t0, t0 + rng.exponential(self.session), True)
+        else:
+            self._walk.move_to_end(cid)
+        rng, start, toggle, up = entry
+        while toggle <= now:
+            start = toggle
+            toggle += rng.exponential(self.gap if up else self.session)
+            up = not up
+        self._walk[cid] = (rng, start, toggle, up)
+        while len(self._walk) > self._walk_cap:
+            self._walk.popitem(last=False)
+        return up
+
     def _on_emit(self, event: PopulationEvent) -> None:
         if event.kind == "join":
+            if self.lazy:
+                # the joiner's timeline starts at its join, walked lazily
+                self._join_time[event.client] = float(event.time)
+                return
             # a late joiner churns too, from its own keyed stream
             rng = self.rngs.make("population.churn", event.client)
             self._client_rng[event.client] = rng
@@ -377,6 +452,12 @@ class ChurnPopulation(PopulationModel):
         state["client_rng"] = {
             int(c): generator_state(g) for c, g in sorted(self._client_rng.items())
         }
+        if self.lazy:
+            # walk positions are pure re-derivations and stay out of the
+            # snapshot; only the joiners' timeline origins are state
+            state["join_time"] = {
+                int(c): float(t) for c, t in sorted(self._join_time.items())
+            }
         return state
 
     def load_state_dict(self, state: dict, algo: "FederatedAlgorithm") -> None:
@@ -384,6 +465,10 @@ class ChurnPopulation(PopulationModel):
         self._client_rng = {
             int(c): restore_generator(s) for c, s in state["client_rng"].items()
         }
+        self._join_time = {
+            int(c): float(t) for c, t in state.get("join_time", {}).items()
+        }
+        self._walk.clear()
 
 
 @register("population", "growth")

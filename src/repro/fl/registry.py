@@ -342,6 +342,26 @@ _declare(
     example="trimmed:trim=0.2",
 )
 _declare(
+    name="topology",
+    label="aggregation topology",
+    field="topology",
+    env="REPRO_TOPOLOGY",
+    default="flat",
+    prefix="topo_",
+    module="repro.fl.topology",
+    doc=(
+        "how the cohort's updates reach the cloud aggregator: `flat` "
+        "(the default) hands the scheduler's delivered list straight to "
+        "the algorithm, bit-for-bit the seed behaviour; `hier` shards "
+        "the cohort over `topo_edges` seeded edge aggregators (client→"
+        "edge assignment is a pure function of the run seed, stable "
+        "under churn), reduces each edge's members with the configured "
+        "`aggregator` as a stream, meters the edge→cloud hop through "
+        "the CommTracker, and forwards one summary per edge"
+    ),
+    example="hier:edges=4",
+)
+_declare(
     name="algorithm",
     label="algorithm",
     field=None,

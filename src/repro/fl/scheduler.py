@@ -195,6 +195,12 @@ class _Spans(object):
             extras["population"] = list(self.pop_events)
         tele = algo.telemetry
         if tele.enabled:
+            resident = getattr(algo.fed, "resident_shards", None)
+            if resident is not None:
+                # the lazy dataset's materialized-shard count: the LRU's
+                # set is order-independent (pure keyed materialization),
+                # so the gauge is deterministic and may live in records
+                tele.gauge("resident_shards", int(resident()))
             # deterministic per-record metric deltas (bytes, event
             # counts, virtual-clock staleness — never wall clocks), so
             # telemetry-enabled histories stay bit-for-bit reproducible
@@ -405,6 +411,27 @@ class Scheduler(ABC):
         with tele.span("wire_down", cat="wire", selected=len(selected)):
             selected = np.asarray(selected, dtype=int)
             unavailable: list[int] = []
+            pop = algo.population
+            if self.dynamic_population and pop.lazy and selected.size:
+                # a lazy population has no leave/return event stream: each
+                # sampled client's reachability is resolved here from its
+                # pure keyed session timeline.  Rejection-sampling
+                # semantics: the cohort shrinks by the offline fraction
+                # instead of re-drawing — a coordinator discovers liveness
+                # only on contact, exactly like the eventful model's
+                # shrunk-eligible-set draw in expectation but O(cohort)
+                # in memory.
+                mask = np.fromiter(
+                    (pop.available(int(c), self.pop_now) for c in selected),
+                    dtype=bool, count=selected.size,
+                )
+                offline = [int(c) for c in selected[~mask]]
+                selected = selected[mask]
+                for cid in offline:
+                    tele.emit("unavailable", client=cid)
+                if offline:
+                    tele.count("unavailable", len(offline))
+                    unavailable.extend(offline)
             if not self.ideal:
                 mask = algo.network.available_mask(round_idx, selected)
                 unavailable = [int(c) for c in selected[~mask]]
@@ -544,11 +571,16 @@ class SyncScheduler(Scheduler):
                 )
                 spans.unavailable.extend(unavailable)
                 updates = self.execute(algo, round_idx, survivors)
-                delivered: list["ClientUpdate"] = []
+                # the topology sink receives each delivered update the
+                # moment it clears the wire (flat: a pass-through list,
+                # bit-for-bit the seed; hier: streaming edge reduction) —
+                # the loop releases its own reference right away
+                sink = algo.topology.sink(algo, round_idx)
                 cut: list[int] = []
                 round_sim = 0.0
                 with tele.span("wire_up", cat="wire", uploads=len(updates)):
-                    for u in updates:
+                    for i, u in enumerate(updates):
+                        updates[i] = None
                         item = self.encode_upload(algo, u, round_idx)
                         if self.simulate:
                             t = self.trip_seconds(algo, item, down_nbytes)
@@ -570,12 +602,13 @@ class SyncScheduler(Scheduler):
                                 client=int(u.client_id),
                             )
                             round_sim = max(round_sim, t)
-                        delivered.append(self.deliver(algo, item, round_idx))
+                        sink.add(self.deliver(algo, item, round_idx))
+                delivered = sink.finish()
                 if cut and self.deadline is not None:
                     round_sim = self.deadline  # server waits out the budget
                 spans.sim += round_sim
                 spans.dropped.extend(cut)
-                tele.observe("arrivals_per_flush", len(delivered))
+                tele.observe("arrivals_per_flush", sink.added)
                 if delivered:
                     # an all-cut (or all-unavailable) round changes nothing
                     # server-side; the record below still commits
@@ -638,7 +671,7 @@ class SemiSyncScheduler(Scheduler):
                 if self.dynamic_population:
                     # quorum tracks the eligible population as it churns
                     quorum = nominal_cohort(
-                        int(algo.roster().size), cfg.sample_rate
+                        algo.roster_size(), cfg.sample_rate
                     )
                 selected = algo.select_clients(round_idx, sample_rate=rate)
                 survivors, down_nbytes, unavailable = self.wire_down(
@@ -689,9 +722,9 @@ class SemiSyncScheduler(Scheduler):
                     # so floating-point reductions see the canonical
                     # operand order
                     kept.sort(key=lambda k: k[0])
-                    delivered = []
+                    sink = algo.topology.sink(algo, round_idx)
                     for seq, t, item in kept:
-                        delivered.append(self.deliver(algo, item, round_idx))
+                        sink.add(self.deliver(algo, item, round_idx))
                         spans.events.append(
                             {
                                 "client": int(item.update.client_id),
@@ -701,9 +734,10 @@ class SemiSyncScheduler(Scheduler):
                             }
                         )
                         tele.emit("arrival", **spans.events[-1])
+                delivered = sink.finish()
                 spans.sim += round_sim
                 spans.dropped.extend(cut)
-                tele.observe("arrivals_per_flush", len(delivered))
+                tele.observe("arrivals_per_flush", sink.added)
                 if delivered:
                     # an all-cut round changes nothing server-side; the
                     # record below still commits
@@ -816,12 +850,20 @@ class BufferedScheduler(Scheduler):
             tele.observe("arrivals_per_flush", len(merged))
             if merged:
                 # an empty flush (cohort entirely dropped out) changes
-                # nothing server-side but still advances the federation
+                # nothing server-side but still advances the federation.
+                # A hierarchical topology pre-reduces the buffer here:
+                # staleness discounts apply per member *before* the edge
+                # reduce, and the summaries merge with zero staleness
+                # (flat returns the pair unchanged).  The flush record
+                # below keeps the member-level losses either way.
+                folded, fold_stale = algo.topology.reduce_merge(
+                    algo, version, merged, staleness
+                )
                 with tele.span(
                     "merge", cat="scheduler", flush=version,
-                    updates=len(merged),
+                    updates=len(folded),
                 ):
-                    algo.merge(version, merged, staleness)
+                    algo.merge(version, folded, fold_stale)
             for (seq, cycle, v_dispatch, t_arr, u), s in zip(
                 self._buffer, staleness
             ):

@@ -83,6 +83,7 @@ from repro.fl.history import History
 from repro.fl.sampling import sample_clients
 from repro.fl.scheduler import Scheduler, make_scheduler
 from repro.fl.telemetry import NULL_TELEMETRY, make_telemetry
+from repro.fl.topology import FLAT_TOPOLOGY, Topology, make_topology
 from repro.fl.training import evaluate_accuracy, local_sgd
 from repro.nn.model import Sequential
 from repro.nn.optim import SGD
@@ -139,6 +140,15 @@ class FederatedAlgorithm(ABC):
     #: these, snapshots ship only the dispatched clients' slots — a client
     #: task may read its *own* slot only.
     exec_state_client_attrs: tuple[str, ...] = ()
+
+    #: whether this algorithm's ``aggregate`` is a plain weighted combine
+    #: over the cohort, so a hierarchical topology may pre-reduce the
+    #: cohort into edge summaries without changing the method's algebra.
+    #: FedAvg/FedProx set this True; algorithms with bespoke cross-client
+    #: aggregation (FedNova's normalized directions, the clustered
+    #: methods' assignment steps) keep the default and ``run`` rejects
+    #: ``topology="hier"`` with ``topo_edges >= 2``.
+    supports_hier: bool = False
 
     def __init__(
         self,
@@ -202,6 +212,10 @@ class FederatedAlgorithm(ABC):
         #: mean) instance until then, so hooks called outside ``run``
         #: (direct ``aggregate`` calls in tests) keep the seed behaviour
         self.aggregator: Aggregator = WEIGHTED
+        #: aggregation topology (:mod:`repro.fl.topology`), built by
+        #: ``run`` from the config; the shared flat pass-through until
+        #: then, so hooks called outside ``run`` keep the seed data path
+        self.topology: Topology = FLAT_TOPOLOGY
 
     @property
     def model(self) -> Sequential:
@@ -464,7 +478,7 @@ class FederatedAlgorithm(ABC):
         "codec", "network", "scheduler", "population",
         "_eligible", "_ran",
         "on_checkpoint", "checkpoint_meta", "_fingerprint",
-        "telemetry", "attack", "aggregator",
+        "telemetry", "attack", "aggregator", "topology",
     })
 
     def checkpoint_state(self) -> dict:
@@ -570,6 +584,20 @@ class FederatedAlgorithm(ABC):
         # seed-rule objects and nothing downstream changes.
         self.attack = make_attack(cfg, self.fed.num_clients, self.rngs)
         self.aggregator = make_aggregator(cfg)
+        # The aggregation topology sits between scheduler delivery and
+        # the algorithm; ``flat`` (the default) is a shared pass-through
+        # and nothing downstream changes.  Hierarchical pre-reduction is
+        # only sound for plain-combine algorithms (``supports_hier``).
+        self.topology = make_topology(cfg, self.fed.num_clients, self.rngs)
+        if self.topology.edges > 1 and not self.supports_hier:
+            raise RuntimeError(
+                f"algorithm {self.name!r} has bespoke cross-client "
+                "aggregation and cannot run under a hierarchical topology "
+                f"({self.topology.name}:{self.topology.edges} edges); use "
+                "topology='flat' or a plain-combine algorithm "
+                "(fedavg/fedprox)"
+            )
+        self.topology.begin(self)
         # The population binds first: a joining model detaches its pool
         # here, so round-0 setup and the network/backend below only ever
         # see the initial roster (total size is passed for id-keyed
@@ -577,7 +605,13 @@ class FederatedAlgorithm(ABC):
         self.population = make_population(cfg, self.fed.num_clients, self.rngs)
         if self.population.dynamic:
             self.population.begin(self)
-            self._eligible = {int(c) for c in self.population.initial_roster()}
+            if not self.population.lazy:
+                # a lazy model keeps no eligibility set (O(population));
+                # selection runs over the full roster and reachability is
+                # resolved per sampled client at wire-down
+                self._eligible = {
+                    int(c) for c in self.population.initial_roster()
+                }
         self._backend = make_backend(cfg)
         if self.population.dynamic and self.population.joiner_count() and isinstance(
             self._backend, ProcessBackend
@@ -680,6 +714,14 @@ class FederatedAlgorithm(ABC):
         return np.fromiter(sorted(self._eligible), dtype=np.int64,
                            count=len(self._eligible))
 
+    def roster_size(self) -> int:
+        """Eligible-id count without materializing the roster array
+        (schedulers size quorums from this at every round; a lazy
+        million-client population must not build an id array per round)."""
+        if self._eligible is None:
+            return int(self.fed.num_clients)
+        return len(self._eligible)
+
     def on_join(self, client_id: int, key_idx: int) -> dict:
         """Algorithm-specific work for a mid-run join (population event).
 
@@ -707,12 +749,15 @@ class FederatedAlgorithm(ABC):
             or ``None`` for a no-op (leaving while already away,
             returning while present).
         """
-        if self._eligible is None:  # population hooks off (static)
+        if self._eligible is None and not self.population.lazy:
+            # population hooks off (static)
             return None
         cid = int(event.client)
         rec: dict = {"t": float(event.time), "kind": event.kind, "client": cid}
         if event.kind == "leave":
-            if cid not in self._eligible:
+            # lazy models never emit leave/return — reachability is
+            # answered at wire-down (Scheduler.wire_down) instead
+            if self._eligible is None or cid not in self._eligible:
                 return None
             if len(self._eligible) == 1:
                 # never let the federation empty out entirely
@@ -720,14 +765,19 @@ class FederatedAlgorithm(ABC):
                 return rec
             self._eligible.discard(cid)
         elif event.kind == "return":
-            if cid >= self.fed.num_clients or cid in self._eligible:
+            if (
+                self._eligible is None
+                or cid >= self.fed.num_clients
+                or cid in self._eligible
+            ):
                 return None
             self._eligible.add(cid)
         elif event.kind == "join":
             client = self.population.take_joiner(cid)
             self.fed.attach(client)
             rec.update(self.on_join(cid, key_idx) or {})
-            self._eligible.add(cid)
+            if self._eligible is not None:
+                self._eligible.add(cid)
         else:
             raise ValueError(f"unknown population event kind {event.kind!r}")
         return rec
@@ -820,11 +870,27 @@ class FederatedAlgorithm(ABC):
     # evaluation
     # ------------------------------------------------------------------
     def evaluate(self) -> float:
-        """The paper's headline metric: average local test accuracy over
-        *all* clients (each on its own designated model)."""
-        with self.telemetry.span(
-            "eval", cat="engine", clients=int(self.fed.num_clients)
-        ):
+        """The paper's headline metric: average local test accuracy.
+
+        With ``eval_clients == 0`` (the default) every client is
+        evaluated on its own designated model — the seed behaviour,
+        bit-for-bit.  A positive ``eval_clients`` instead draws that
+        many clients (without replacement, from the full id space) with
+        a keyed generator seeded per evaluation, so million-client runs
+        pay O(eval_clients) per record; the draw is a pure function of
+        the run seed and the committed-record count, hence identical
+        across a crash/resume pair.
+        """
+        n = self.fed.num_clients
+        k = int(self.config.eval_clients)
+        if k and k < n:
+            rng = self.rngs.make("eval_sample", len(self.history.records))
+            ids = np.sort(rng.choice(n, size=k, replace=False))
+            with self.telemetry.span("eval", cat="engine", clients=k):
+                argslist = [(int(cid),) for cid in ids]
+                accs = self._map_clients("evaluate_client", argslist)
+                return float(np.mean(np.asarray(accs, dtype=np.float64)))
+        with self.telemetry.span("eval", cat="engine", clients=int(n)):
             return float(np.mean(self.per_client_accuracy()))
 
     def per_client_accuracy(self) -> np.ndarray:

@@ -56,6 +56,7 @@ from __future__ import annotations
 
 import json
 import logging
+import sys
 import time
 from pathlib import Path
 from typing import IO, Any, Callable
@@ -86,6 +87,7 @@ EVENT_TYPES = (
     "deadline_drop",  # a deadline cut an upload mid-flight
     "cancel",      # semisync cancelled a straggler past its quorum
     "arrival",     # a delivered upload: client, virtual t, staleness, flush
+    "edge",        # a hier-topology edge summary: flush, edge, members, bytes
     "population",  # an applied membership event (join/leave/return)
     "attack_assign",    # a client was marked byzantine at run start
     "poisoned_update",  # an adversary's upload was poisoned pre-wire
@@ -104,6 +106,26 @@ def _json_default(obj: Any):
     if isinstance(obj, np.ndarray):
         return obj.tolist()
     raise TypeError(f"not JSON-serializable: {type(obj).__name__}")
+
+
+try:  # Unix only; absent on some platforms — RSS gauging just degrades
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-Unix
+    _resource = None
+
+
+def _peak_rss_mb() -> float | None:
+    """This process's peak resident-set size in (decimal) megabytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; returns
+    ``None`` where the ``resource`` module is unavailable.
+    """
+    if _resource is None:
+        return None
+    peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        return peak / 1e6
+    return peak * 1024 / 1e6
 
 
 # ----------------------------------------------------------------------
@@ -201,6 +223,11 @@ class MetricsRegistry:
     def __init__(self):
         self.counters: dict[str, int | float] = {}
         self.gauges: dict[str, float] = {}
+        #: host-measurement gauges (e.g. ``peak_rss_mb``) that are *not*
+        #: deterministic: rendered in :meth:`totals` / ``metrics.json``
+        #: only, never in :meth:`round_snapshot` — record extras must
+        #: stay bit-for-bit reproducible (same rule as phase wall-clocks)
+        self.volatile: dict[str, float] = {}
         self.hists: dict[str, _Hist] = {}
         self._round_counters: dict[str, int | float] = {}
         self._round_hists: dict[str, _Hist] = {}
@@ -218,8 +245,11 @@ class MetricsRegistry:
                 hist = scope[name] = _Hist()
             hist.observe(value)
 
-    def gauge(self, name: str, value: float) -> None:
-        self.gauges[name] = float(value)
+    def gauge(self, name: str, value: float, volatile: bool = False) -> None:
+        if volatile:
+            self.volatile[name] = float(value)
+        else:
+            self.gauges[name] = float(value)
 
     @staticmethod
     def _render(counters: dict, gauges: dict, hists: dict) -> dict:
@@ -237,16 +267,20 @@ class MetricsRegistry:
         return snap
 
     def totals(self) -> dict:
-        """Run-cumulative view (the ``metrics.json`` body)."""
-        return self._render(self.counters, self.gauges, self.hists)
+        """Run-cumulative view (the ``metrics.json`` body) — includes the
+        volatile host gauges the per-record snapshots exclude."""
+        return self._render(
+            self.counters, {**self.gauges, **self.volatile}, self.hists
+        )
 
     def to_csv(self) -> str:
         """Flat ``kind,name,stat,value`` table of the cumulative totals."""
         lines = ["kind,name,stat,value"]
         for name in sorted(self.counters):
             lines.append(f"counter,{name},total,{self.counters[name]}")
-        for name in sorted(self.gauges):
-            lines.append(f"gauge,{name},last,{self.gauges[name]}")
+        gauges = {**self.gauges, **self.volatile}
+        for name in sorted(gauges):
+            lines.append(f"gauge,{name},last,{gauges[name]}")
         for name in sorted(self.hists):
             for stat, value in self.hists[name].stats().items():
                 lines.append(f"histogram,{name},{stat},{value}")
@@ -293,7 +327,7 @@ class NullTelemetry:
     def observe(self, name: str, value: float) -> None:
         pass
 
-    def gauge(self, name: str, value: float) -> None:
+    def gauge(self, name: str, value: float, volatile: bool = False) -> None:
         pass
 
     def metrics_snapshot(self) -> dict:
@@ -465,9 +499,9 @@ class Telemetry:
         self.ops += 1
         self.metrics.observe(name, value)
 
-    def gauge(self, name: str, value: float) -> None:
+    def gauge(self, name: str, value: float, volatile: bool = False) -> None:
         self.ops += 1
-        self.metrics.gauge(name, value)
+        self.metrics.gauge(name, value, volatile=volatile)
 
     def metrics_snapshot(self) -> dict:
         """Per-record metric deltas (drains the record scope)."""
@@ -476,6 +510,11 @@ class Telemetry:
     def record(self, rec: RoundRecord) -> None:
         """One committed :class:`RoundRecord`: emit its event + progress."""
         self._records += 1
+        rss = _peak_rss_mb()
+        if rss is not None:
+            # volatile: lands in metrics.json totals only, never in the
+            # per-record snapshots (host measurements are unreproducible)
+            self.gauge("peak_rss_mb", rss, volatile=True)
         fields: dict[str, Any] = {
             "round": int(rec.round),
             "accuracy": float(rec.accuracy),

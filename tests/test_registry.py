@@ -29,6 +29,7 @@ from repro.fl.execution import BACKENDS, make_backend
 from repro.fl.network import KNOWN_NET_KEYS, NETWORKS, make_network
 from repro.fl.population import KNOWN_POP_KEYS, POPULATIONS, make_population
 from repro.fl.scheduler import KNOWN_SCHED_KEYS, SCHEDULERS, make_scheduler
+from repro.fl.topology import KNOWN_TOPO_KEYS, make_topology
 from repro.nn.models import mlp
 from repro.utils.rng import RngFactory
 
@@ -53,6 +54,9 @@ FACTORIES = {
     "aggregator": lambda spec=None, config=None: make_aggregator(
         config, aggregator=spec
     ),
+    "topology": lambda spec=None, config=None: make_topology(
+        config, num_clients=8, rngs=RngFactory(0), topology=spec
+    ),
 }
 
 ALL_IMPLS = [
@@ -67,7 +71,7 @@ class TestRegistryShape:
         names = [f.name for f in registry.families()]
         assert names == [
             "backend", "codec", "network", "scheduler", "population",
-            "telemetry", "attack", "aggregator", "algorithm",
+            "telemetry", "attack", "aggregator", "topology", "algorithm",
         ]
 
     def test_legacy_dicts_derive_from_registry(self):
@@ -86,6 +90,8 @@ class TestRegistryShape:
         assert KNOWN_POP_KEYS == registry.known_prefix_keys("population")
         assert KNOWN_ATK_KEYS == registry.known_prefix_keys("attack")
         assert KNOWN_AGG_KEYS == registry.known_prefix_keys("aggregator")
+        assert KNOWN_TOPO_KEYS == registry.known_prefix_keys("topology")
+        assert "topo_edges" in KNOWN_TOPO_KEYS
         assert "net_straggler_factor" in KNOWN_NET_KEYS
         assert "pop_session" in KNOWN_POP_KEYS
         assert "sched_concurrency" in KNOWN_SCHED_KEYS
