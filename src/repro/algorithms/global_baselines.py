@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.fl.execution import ClientTrainSpec
 from repro.fl.registry import opt, register
 from repro.fl.server import ClientUpdate, FederatedAlgorithm, average_states
 from repro.nn.serialization import flatten_params
@@ -77,6 +78,27 @@ class FedProx(FedAvg):
         params = self.params_for_client(client_id, round_idx)
         return self.local_train(
             client_id, round_idx, params,
+            state=self.state_for_client(client_id, round_idx),
+            prox_center=params,
+        )
+
+    def client_task_spec(self, method, args):
+        # FedProx's client loop is the default recipe anchored at the
+        # downloaded model, so the vector backend can batch it.
+        if method != "client_update":
+            return super().client_task_spec(method, args)
+        cls = type(self)
+        if (
+            cls.client_update is not FedProx.client_update
+            or cls.local_train is not FederatedAlgorithm.local_train
+        ):
+            return None
+        client_id, round_idx = args
+        params = self.params_for_client(client_id, round_idx)
+        return ClientTrainSpec(
+            client_id=int(client_id),
+            round_idx=int(round_idx),
+            params=params,
             state=self.state_for_client(client_id, round_idx),
             prox_center=params,
         )

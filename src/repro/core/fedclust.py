@@ -22,7 +22,9 @@ from repro.algorithms.clustered import ClusteredAlgorithm
 from repro.clustering.distance import proximity_matrix
 from repro.clustering.hierarchical import Dendrogram, agglomerative, largest_gap_threshold
 from repro.core.weight_selection import select_weights, selection_nbytes
+from repro.fl.execution import ClientTrainSpec
 from repro.fl.registry import opt, register
+from repro.fl.server import FederatedAlgorithm
 from repro.nn.serialization import flatten_params, unflatten_params
 
 __all__ = ["FedClust"]
@@ -120,6 +122,35 @@ class FedClust(ClusteredAlgorithm):
             state=self._init_state,
             epochs=self.warmup_epochs,
         )
+        model = self.model
+        unflatten_params(model, update.params)
+        return select_weights(model, self.selection, self.selection_k)
+
+    def client_task_spec(self, method, args):
+        # The round-0 warm-up is the default local_train recipe from θ⁰;
+        # only the partial-weight selection differs, and that runs as a
+        # main-thread postprocessor on the finished update.
+        if method != "client_partial_weights":
+            return super().client_task_spec(method, args)
+        cls = type(self)
+        if (
+            cls.client_partial_weights is not FedClust.client_partial_weights
+            or cls.local_train is not FederatedAlgorithm.local_train
+        ):
+            return None
+        (client_id,) = args
+        return ClientTrainSpec(
+            client_id=int(client_id),
+            round_idx=0,
+            params=self.theta0,
+            state=self._init_state,
+            epochs=self.warmup_epochs,
+            post=self._partial_from_update,
+        )
+
+    def _partial_from_update(self, update) -> np.ndarray:
+        """Select partial weights from a finished warm-up update (runs on
+        the main thread, so the shared work model is safe scratch)."""
         model = self.model
         unflatten_params(model, update.params)
         return select_weights(model, self.selection, self.selection_k)

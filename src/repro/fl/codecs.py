@@ -239,11 +239,39 @@ class Int8Codec(Codec):
 
     name = "int8"
 
+    #: scratch shapes cached per codec (a run sees one or two delta sizes)
+    _SCRATCH_MAX = 8
+
     def __init__(self):
         #: client ids whose delivered uploads were zero-encoded because
         #: their delta had a non-finite peak (appended at commit time,
         #: so deadline-cut uploads never record)
         self.nonfinite_clients: list[int] = []
+        #: pre-allocated float64/bool work buffers keyed by delta size —
+        #: encode's intermediates (scaled, floor, noise, mask) never leave
+        #: the codec, so one set serves every upload of that size
+        self._scratch: dict[int, dict[str, np.ndarray]] = {}
+
+    def _scratch_for(self, size: int) -> dict[str, np.ndarray]:
+        """The reusable encode work buffers for a ``size``-entry delta.
+
+        Repeated calls with the same size return the *same arrays*
+        (asserted by the workspace-reuse tests) — no per-encode
+        allocation of the float64 intermediates.
+        """
+        ws = self._scratch.get(size)
+        if ws is None:
+            if len(self._scratch) >= self._SCRATCH_MAX:
+                self._scratch.pop(next(iter(self._scratch)))
+            ws = {
+                "scaled": np.empty(size, dtype=np.float64),
+                "low": np.empty(size, dtype=np.float64),
+                "rand": np.empty(size, dtype=np.float64),
+                "frac": np.empty(size, dtype=np.float64),
+                "mask": np.empty(size, dtype=bool),
+            }
+            self._scratch[size] = ws
+        return ws
 
     def encode(self, client_id, delta, rng) -> Encoded:
         peak = float(np.max(np.abs(delta))) if delta.size else 0.0
@@ -260,6 +288,21 @@ class Int8Codec(Codec):
         scale = peak / 127.0
         if scale == 0.0:
             q = np.zeros(delta.shape, dtype=np.int8)
+        elif delta.ndim == 1:
+            # Scratch-buffer path: identical arithmetic to the allocating
+            # path below, expressed with explicit ``out=`` targets.
+            # ``rng.random(out=...)`` consumes the same stream as
+            # ``rng.random(shape)`` for float64, so the quantization noise
+            # is bit-for-bit unchanged.
+            ws = self._scratch_for(delta.size)
+            scaled = np.divide(delta, scale, out=ws["scaled"])
+            low = np.floor(scaled, out=ws["low"])
+            rng.random(out=ws["rand"])
+            frac = np.subtract(scaled, low, out=ws["frac"])
+            mask = np.less(ws["rand"], frac, out=ws["mask"])
+            q64 = np.add(low, mask, out=ws["scaled"])
+            np.clip(q64, -127, 127, out=q64)
+            q = q64.astype(np.int8)
         else:
             scaled = delta / scale
             low = np.floor(scaled)
@@ -307,25 +350,60 @@ class TopKCodec(Codec):
 
     name = "topk"
 
+    #: scratch shapes cached per codec (a run sees one or two delta sizes)
+    _SCRATCH_MAX = 8
+
     def __init__(self, frac: float = 0.05):
         if not 0.0 < frac <= 1.0:
             raise ValueError(f"topk_frac must be in (0, 1], got {frac}")
         self.frac = float(frac)
         self._residuals: dict[int, np.ndarray] = {}
+        #: pre-allocated selection work buffers keyed by delta size: the
+        #: compensated delta, its negated magnitudes (lexsort key), and
+        #: the tie-break index vector — none of which leave the codec
+        self._scratch: dict[int, dict[str, np.ndarray]] = {}
 
     def residual(self, client_id: int, size: int) -> np.ndarray:
         """The client's current error-feedback residual (zeros initially)."""
         r = self._residuals.get(int(client_id))
         return r if r is not None else np.zeros(size, dtype=np.float64)
 
+    def _scratch_for(self, size: int) -> dict[str, np.ndarray]:
+        """The reusable encode work buffers for a ``size``-entry delta
+        (same arrays on every call with that size)."""
+        ws = self._scratch.get(size)
+        if ws is None:
+            if len(self._scratch) >= self._SCRATCH_MAX:
+                self._scratch.pop(next(iter(self._scratch)))
+            ws = {
+                "comp": np.empty(size, dtype=np.float64),
+                "negabs": np.empty(size, dtype=np.float64),
+                "arange": np.arange(size),
+            }
+            self._scratch[size] = ws
+        return ws
+
     def encode(self, client_id, delta, rng) -> Encoded:
-        compensated = delta + self.residual(client_id, delta.size)
+        ws = self._scratch_for(delta.size) if delta.ndim == 1 else None
+        if ws is not None:
+            compensated = np.add(
+                delta, self.residual(client_id, delta.size), out=ws["comp"]
+            )
+        else:
+            compensated = delta + self.residual(client_id, delta.size)
         k = max(1, math.ceil(self.frac * delta.size))
         if k >= delta.size:
             idx = np.arange(delta.size, dtype=np.int32)
-        else:
+        elif ws is not None:
             # lexsort: primary key -|a| (descending magnitude), secondary
-            # key the index itself — a total, platform-independent order
+            # key the index itself — a total, platform-independent order.
+            # Keys are built in the scratch buffers (negation is exact, so
+            # the selection is bitwise the allocating path's).
+            np.abs(compensated, out=ws["negabs"])
+            np.negative(ws["negabs"], out=ws["negabs"])
+            order = np.lexsort((ws["arange"], ws["negabs"]))
+            idx = np.sort(order[:k]).astype(np.int32)
+        else:
             order = np.lexsort((np.arange(delta.size), -np.abs(compensated)))
             idx = np.sort(order[:k]).astype(np.int32)
         values = compensated[idx]

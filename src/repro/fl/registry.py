@@ -222,8 +222,9 @@ _declare(
     prefix=None,
     module="repro.fl.execution",
     doc=(
-        "how the per-round client sweep executes; changes wall-clock "
-        "only, never results (bit-for-bit backend equivalence)"
+        "how the per-round client sweep executes; serial/thread/process "
+        "are bit-for-bit identical, vector (cohort-batched kernels) "
+        "matches serial within a pinned, test-enforced tolerance"
     ),
     example="thread:workers=4",
 )

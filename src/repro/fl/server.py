@@ -71,7 +71,10 @@ from repro.fl.codecs import Codec, make_codec
 from repro.fl.comm import CommTracker
 from repro.fl.config import FLConfig
 from repro.fl.execution import (
+    ClientEvalSpec,
     ClientSlots,
+    ClientTrainSpec,
+    CohortRunner,
     ExecutionBackend,
     ProcessBackend,
     SerialBackend,
@@ -385,6 +388,46 @@ class FederatedAlgorithm(ABC):
         """Non-trainable buffers the client downloads this round."""
         return self.eval_state_for_client(client_id)
 
+    def client_task_spec(
+        self, method: str, args: tuple
+    ) -> "ClientTrainSpec | ClientEvalSpec | None":
+        """Declarative form of one client task, for batching backends.
+
+        The ``vector`` backend (:class:`~repro.fl.execution.CohortRunner`)
+        asks each task whether it is exactly the engine's default recipe —
+        download ``params``/``state``, run ``local_train``'s SGD loop (or
+        the standard accuracy evaluation) — and batches the ones that are.
+        The base implementation answers for the default
+        ``client_update``/``evaluate_client``; any override of those (or of
+        ``local_train`` itself) returns ``None``, which sends the dispatch
+        through the exact serial loop.  Algorithms whose overrides are
+        still the default recipe with different inputs (FedProx's proximal
+        anchor, FedClust's round-0 warm-up) override this to say so.
+        """
+        cls = type(self)
+        if cls.local_train is not FederatedAlgorithm.local_train:
+            return None
+        if method == "client_update":
+            if cls.client_update is not FederatedAlgorithm.client_update:
+                return None
+            client_id, round_idx = args
+            return ClientTrainSpec(
+                client_id=int(client_id),
+                round_idx=int(round_idx),
+                params=self.params_for_client(client_id, round_idx),
+                state=self.state_for_client(client_id, round_idx),
+            )
+        if method == "evaluate_client":
+            if cls.evaluate_client is not FederatedAlgorithm.evaluate_client:
+                return None
+            (client_id,) = args
+            return ClientEvalSpec(
+                client_id=int(client_id),
+                params=self.eval_params_for_client(client_id),
+                state=self.eval_state_for_client(client_id),
+            )
+        return None
+
     def download_bytes(self, client_id: int, round_idx: int) -> int:
         """Bytes the server sends a selected client this round."""
         return self.model_bytes
@@ -626,10 +669,12 @@ class FederatedAlgorithm(ABC):
         self.codec = make_codec(cfg)
         self.network = make_network(cfg, self.fed.num_clients, self.rngs)
         self.scheduler = make_scheduler(cfg)
-        if not isinstance(self._backend, SerialBackend):
+        if not isinstance(self._backend, (SerialBackend, CohortRunner)):
             # Layer-internal generators (e.g. nn.layers.Dropout) draw in
             # forward-call order, which parallel backends cannot reproduce;
-            # fail loudly instead of silently diverging from serial.
+            # fail loudly instead of silently diverging from serial.  The
+            # vector backend is exempt: it detects stateful-RNG layers
+            # itself and runs the exact serial loop for such models.
             stateful = [
                 repr(layer)
                 for layer in self._model.layers

@@ -1,19 +1,29 @@
-"""Local SGD training routines shared by every algorithm's client update."""
+"""Local SGD training routines shared by every algorithm's client update.
+
+The ``*_many`` variants are the cohort-batched counterparts used by the
+``vector`` execution backend: they run the same minibatch schedule for a
+whole stack of clients at once over a leading cohort axis, drawing each
+member's shuffles from its own generator so the visit order per client is
+identical to the serial loop.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.losses import softmax_cross_entropy
-from repro.nn.model import Sequential
-from repro.nn.optim import SGD
+from repro.nn.losses import softmax_cross_entropy, softmax_cross_entropy_many
+from repro.nn.model import CohortModel, Sequential
+from repro.nn.optim import SGD, CohortSGD
 from repro.nn.serialization import flatten_grads
 
 __all__ = [
     "local_sgd",
+    "local_sgd_many",
     "grad_on_batch",
     "evaluate_accuracy",
+    "evaluate_accuracy_many",
     "evaluate_loss",
+    "evaluate_loss_many",
     "minibatches",
 ]
 
@@ -103,6 +113,53 @@ def local_sgd(
     return total_loss / max(steps, 1), steps
 
 
+def local_sgd_many(
+    model: CohortModel,
+    opt: CohortSGD,
+    x: np.ndarray,
+    y: np.ndarray,
+    epochs: int,
+    batch_size: int,
+    rngs: list[np.random.Generator],
+) -> tuple[np.ndarray, int]:
+    """Cohort-batched :func:`local_sgd` over stacked client datasets.
+
+    Args:
+        model: cohort model holding one parameter slice per client.
+        x: ``(cohort, n, ...)`` stacked training inputs (equal ``n``).
+        y: ``(cohort, n)`` stacked integer labels.
+        epochs: passes over the data (shared across the cohort).
+        batch_size: minibatch size (shared across the cohort).
+        rngs: one shuffle generator per cohort member, in stack order.
+            Each member's epoch permutations come from its own generator,
+            so client ``c`` visits samples in exactly the order the serial
+            loop would with the same generator.
+
+    Returns:
+        ``(mean_losses, num_steps)`` where ``mean_losses`` is the ``(cohort,)``
+        per-member mean loss and ``num_steps`` the shared step count (equal
+        ``n`` and ``batch_size`` imply the same schedule for every member).
+    """
+    cohort, n = y.shape
+    if len(rngs) != cohort:
+        raise ValueError(f"{len(rngs)} generators for a cohort of {cohort}")
+    total_loss = np.zeros(cohort)
+    steps = 0
+    rows = np.arange(cohort)[:, None]
+    for _ in range(epochs):
+        batches = [minibatches(n, batch_size, rng) for rng in rngs]
+        for s in range(len(batches[0])):
+            idx = np.stack([b[s] for b in batches])
+            model.zero_grad()
+            logits = model.forward(x[rows, idx], train=True)
+            losses, dlogits = softmax_cross_entropy_many(logits, y[rows, idx])
+            model.backward(dlogits)
+            opt.step()
+            total_loss += losses
+            steps += 1
+    return total_loss / max(steps, 1), steps
+
+
 def evaluate_accuracy(model: Sequential, x: np.ndarray, y: np.ndarray) -> float:
     """Top-1 accuracy in evaluation mode.
 
@@ -143,3 +200,44 @@ def evaluate_loss(model: Sequential, x: np.ndarray, y: np.ndarray) -> float:
     logits = model.predict(x)
     loss, _ = softmax_cross_entropy(logits, y)
     return loss
+
+
+def evaluate_accuracy_many(
+    model: CohortModel, x: np.ndarray, y: np.ndarray
+) -> np.ndarray:
+    """Cohort-batched :func:`evaluate_accuracy` over stacked test sets.
+
+    Args:
+        model: cohort model holding one parameter slice per client.
+        x: ``(cohort, n, ...)`` stacked inputs (equal per-member ``n``).
+        y: ``(cohort, n)`` stacked integer labels.
+
+    Returns:
+        ``(cohort,)`` per-member top-1 accuracy; each slice is the value
+        :func:`evaluate_accuracy` would return for that member alone
+        (modulo the batched path's float accumulation order).
+    """
+    if y.shape[1] == 0:
+        raise ValueError("cannot evaluate on an empty set")
+    logits = model.predict(x)
+    return (logits.argmax(axis=-1) == y).mean(axis=1)
+
+
+def evaluate_loss_many(
+    model: CohortModel, x: np.ndarray, y: np.ndarray
+) -> np.ndarray:
+    """Cohort-batched :func:`evaluate_loss` over stacked datasets.
+
+    Args:
+        model: cohort model holding one parameter slice per client.
+        x: ``(cohort, n, ...)`` stacked inputs (equal per-member ``n``).
+        y: ``(cohort, n)`` stacked integer labels.
+
+    Returns:
+        ``(cohort,)`` per-member mean softmax cross-entropy.
+    """
+    if y.shape[1] == 0:
+        raise ValueError("cannot evaluate on an empty set")
+    logits = model.predict(x)
+    losses, _ = softmax_cross_entropy_many(logits, y)
+    return losses

@@ -9,7 +9,15 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["conv_output_size", "im2col_indices", "im2col", "col2im"]
+__all__ = [
+    "conv_output_size",
+    "im2col_indices",
+    "im2col",
+    "col2im",
+    "Im2colPlan",
+    "im2col_plan",
+    "CohortConvWorkspace",
+]
 
 
 def conv_output_size(size: int, field: int, stride: int, pad: int) -> int:
@@ -46,14 +54,63 @@ def im2col_indices(
     return k, i, j
 
 
+class Im2colPlan:
+    """Immutable gather-index workspace for one ``(C, H, W, kernel)`` key.
+
+    The ``(k, i, j)`` arrays (and the derived flat offsets) depend only on
+    the spatial geometry, never on the batch size or the data, so one plan
+    serves every im2col/col2im call with that geometry.  Plans are cached by
+    :func:`im2col_plan`; being pure integer indices they are safe to share
+    across threads.
+    """
+
+    __slots__ = ("k", "i", "j", "out_h", "out_w", "padded_hw")
+
+    def __init__(
+        self, channels: int, h: int, w: int, field_h: int, field_w: int,
+        stride: int, pad: int,
+    ):
+        self.out_h = conv_output_size(h, field_h, stride, pad)
+        self.out_w = conv_output_size(w, field_w, stride, pad)
+        self.k, self.i, self.j = im2col_indices(
+            (1, channels, h, w), field_h, field_w, stride, pad
+        )
+        self.padded_hw = (h + 2 * pad, w + 2 * pad)
+
+
+#: plan cache keyed by the full geometry tuple; bounded so sweeps over many
+#: input sizes cannot grow it without limit
+_PLAN_CACHE: dict[tuple, Im2colPlan] = {}
+_PLAN_CACHE_MAX = 128
+
+
+def im2col_plan(
+    channels: int, h: int, w: int, field_h: int, field_w: int, stride: int, pad: int
+) -> Im2colPlan:
+    """The cached :class:`Im2colPlan` for one conv/pool geometry.
+
+    Repeated calls with the same key return the *same object* (no per-call
+    index recomputation or reallocation — asserted by the workspace-reuse
+    tests).
+    """
+    key = (channels, h, w, field_h, field_w, stride, pad)
+    plan = _PLAN_CACHE.get(key)
+    if plan is None:
+        if len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
+            _PLAN_CACHE.pop(next(iter(_PLAN_CACHE)))
+        plan = Im2colPlan(channels, h, w, field_h, field_w, stride, pad)
+        _PLAN_CACHE[key] = plan
+    return plan
+
+
 def im2col(x: np.ndarray, field_h: int, field_w: int, stride: int, pad: int) -> np.ndarray:
     """Unfold ``(N, C, H, W)`` into patch columns ``(C*fh*fw, N*out_h*out_w)``."""
     if x.ndim != 4:
         raise ValueError(f"im2col expects NCHW input, got shape {x.shape}")
     p = pad
     x_pad = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p)), mode="constant") if p > 0 else x
-    k, i, j = im2col_indices(x.shape, field_h, field_w, stride, pad)
-    cols = x_pad[:, k, i, j]  # (N, C*fh*fw, L)
+    plan = im2col_plan(x.shape[1], x.shape[2], x.shape[3], field_h, field_w, stride, pad)
+    cols = x_pad[:, plan.k, plan.i, plan.j]  # (N, C*fh*fw, L)
     return cols.transpose(1, 2, 0).reshape(field_h * field_w * x.shape[1], -1)
 
 
@@ -69,10 +126,120 @@ def col2im(
     n, c, h, w = x_shape
     p = pad
     x_pad = np.zeros((n, c, h + 2 * p, w + 2 * p), dtype=cols.dtype)
-    k, i, j = im2col_indices(x_shape, field_h, field_w, stride, pad)
+    plan = im2col_plan(c, h, w, field_h, field_w, stride, pad)
     cols_reshaped = cols.reshape(c * field_h * field_w, -1, n).transpose(2, 0, 1)
     # Scatter-add: overlapping patches accumulate.
-    np.add.at(x_pad, (slice(None), k, i, j), cols_reshaped)
+    np.add.at(x_pad, (slice(None), plan.k, plan.i, plan.j), cols_reshaped)
     if p == 0:
         return x_pad
     return x_pad[:, :, p:-p, p:-p]
+
+
+class CohortConvWorkspace:
+    """Pre-allocated im2col/col2im scratch for cohort-batched convolution.
+
+    One workspace serves one ``(cohort, batch, channels, H, W)`` input shape
+    (and dtype); :class:`~repro.nn.layers.Conv2d` keeps a small per-layer
+    cache of them so training reuses the same buffers every step instead of
+    reallocating per call.  The cohort axis ``C`` is the number of stacked
+    client models; each member sees its own batch of ``N`` samples.
+
+    Layout: :meth:`gather` produces ``(C, ch*fh*fw, N*L)`` patch columns
+    (``L = out_h*out_w``) so a single batched GEMM against the stacked
+    ``(C, out_ch, ch*fh*fw)`` kernel computes every member's convolution;
+    :meth:`scatter` is its adjoint.
+    """
+
+    def __init__(
+        self,
+        shape: tuple[int, int, int, int, int],
+        dtype,
+        field_h: int,
+        field_w: int,
+        stride: int,
+        pad: int,
+    ):
+        c, n, ch, h, w = shape
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+        self.pad = int(pad)
+        self.stride = int(stride)
+        self.field = (int(field_h), int(field_w))
+        self.plan = im2col_plan(ch, h, w, field_h, field_w, stride, pad)
+        hp, wp = self.plan.padded_hw
+        ckk = ch * field_h * field_w
+        self.patch_len = ckk
+        self.out_len = self.plan.out_h * self.plan.out_w
+        lcols = self.out_len
+        #: zero-padded input staging buffer (None when pad == 0: the raw
+        #: input is indexed directly, no copy)
+        self._pad_buf = (
+            np.zeros((c, n, ch, hp, wp), dtype=self.dtype) if pad > 0 else None
+        )
+        #: GEMM-ready columns (C, ckk, N, L); viewed as (C, ckk, N*L)
+        self._cols = np.empty((c, ckk, n, lcols), dtype=self.dtype)
+        #: backward scatter target (C, N, ch, H+2p, W+2p)
+        self._dx_pad = np.empty((c, n, ch, hp, wp), dtype=self.dtype)
+
+    def gather(self, x: np.ndarray) -> np.ndarray:
+        """Unfold ``(C, N, ch, H, W)`` input into ``(C, ckk, N*L)`` columns.
+
+        Writes exclusively into the workspace's pre-allocated buffers; the
+        returned array is a reshaped view of the internal columns buffer
+        (valid until the next ``gather`` on this workspace).
+        """
+        c, n, ch, h, w = self.shape
+        p = self.pad
+        s = self.stride
+        fh, fw = self.field
+        oh, ow = self.plan.out_h, self.plan.out_w
+        if p > 0:
+            self._pad_buf[:, :, :, p:-p, p:-p] = x
+            xp = self._pad_buf
+        else:
+            xp = x
+        # Strided slice-copies instead of one fancy-index take: pure copies
+        # straight into the GEMM-ready columns buffer (bitwise-identical
+        # result), one (fi, fj) pass per kernel offset with no intermediate
+        # patch staging.
+        c7 = self._cols.reshape(c, ch, fh, fw, n, oh, ow)
+        for fi in range(fh):
+            for fj in range(fw):
+                c7[:, :, fi, fj] = xp[
+                    :, :, :, fi : fi + s * oh : s, fj : fj + s * ow : s
+                ].transpose(0, 2, 1, 3, 4)
+        return self._cols.reshape(c, self.patch_len, n * self.out_len)
+
+    def scatter(self, dcols: np.ndarray) -> np.ndarray:
+        """Fold ``(C, ckk, N*L)`` column gradients back to ``(C, N, ch, H, W)``.
+
+        The adjoint of :meth:`gather` (scatter-add over overlapping
+        patches).  Returns a freshly-allocated gradient array (it flows on
+        through the backward chain and must outlive the workspace reuse).
+        """
+        c, n, ch, h, w = self.shape
+        p = self.pad
+        s = self.stride
+        fh, fw = self.field
+        oh, ow = self.plan.out_h, self.plan.out_w
+        buf = self._dx_pad
+        buf.fill(0.0)
+        # (C, ckk, N*L) -> (C, N, ch, fh, fw, oh, ow): the patch axis is
+        # channel-major then (fi, fj) row-major (im2col_indices layout).
+        # One contiguous copy up front keeps the per-offset adds below on
+        # unit-stride sources.
+        d7 = np.ascontiguousarray(
+            dcols.reshape(c, ch, fh, fw, n, oh, ow).transpose(0, 4, 1, 2, 3, 5, 6)
+        )
+        # Strided slice-adds instead of np.add.at: each (fi, fj) pass hits
+        # every target element at most once, and passes run in the same
+        # (fi, fj)-major order the fancy-index scatter would accumulate in,
+        # so the result is bitwise np.add.at's at a fraction of the cost.
+        for fi in range(fh):
+            for fj in range(fw):
+                buf[:, :, :, fi : fi + s * oh : s, fj : fj + s * ow : s] += (
+                    d7[:, :, :, fi, fj]
+                )
+        if p == 0:
+            return buf.copy()
+        return buf[:, :, :, p:-p, p:-p].copy()

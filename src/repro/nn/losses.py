@@ -6,7 +6,12 @@ import numpy as np
 
 from repro.utils.maths import softmax
 
-__all__ = ["softmax_cross_entropy", "mse_loss", "accuracy"]
+__all__ = [
+    "softmax_cross_entropy",
+    "softmax_cross_entropy_many",
+    "mse_loss",
+    "accuracy",
+]
 
 
 def softmax_cross_entropy(
@@ -33,6 +38,42 @@ def softmax_cross_entropy(
     dlogits[np.arange(n), labels] -= 1.0
     dlogits /= n
     return loss, dlogits.astype(logits.dtype)
+
+
+def softmax_cross_entropy_many(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cohort-batched :func:`softmax_cross_entropy`.
+
+    Args:
+        logits: ``(C, N, classes)`` stacked logits (one slice per cohort
+            member).
+        labels: ``(C, N)`` integer labels.
+
+    Returns:
+        ``(losses, dlogits)`` where ``losses`` is the ``(C,)`` per-member
+        mean loss and ``dlogits`` the ``(C, N, classes)`` gradient, each
+        slice exactly the scalar function's math (same eps, same ``1/N``
+        scaling, same dtype cast).
+    """
+    logits = np.asarray(logits)
+    labels = np.asarray(labels).astype(np.int64)
+    if logits.ndim != 3:
+        raise ValueError(f"expected (C, N, classes) logits, got {logits.shape}")
+    if labels.shape != logits.shape[:2]:
+        raise ValueError(
+            f"labels shape {labels.shape} incompatible with logits {logits.shape}"
+        )
+    c, n = labels.shape
+    probs = softmax(logits, axis=-1)
+    rows = np.arange(c)[:, None]
+    cols = np.arange(n)[None, :]
+    eps = np.finfo(np.float64).tiny
+    losses = -np.log(probs[rows, cols, labels] + eps).mean(axis=1)
+    dlogits = probs
+    dlogits[rows, cols, labels] -= 1.0
+    dlogits /= n
+    return losses, dlogits.astype(logits.dtype)
 
 
 def mse_loss(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:

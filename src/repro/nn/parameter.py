@@ -13,14 +13,21 @@ class Parameter:
     The framework uses explicit backprop: layers write into ``grad`` during
     ``backward`` and optimizers read/clear it.  ``data`` and ``grad`` always
     share dtype and shape.
+
+    A parameter may additionally be *cohort-bound* (:meth:`bind_cohort`):
+    ``many``/``grad_many`` then hold ``(cohort, *shape)`` stacked values for
+    the vectorized execution path (one slice per client model), while
+    ``data``/``grad`` keep serving the serial path untouched.
     """
 
-    __slots__ = ("name", "data", "grad")
+    __slots__ = ("name", "data", "grad", "many", "grad_many")
 
     def __init__(self, data: np.ndarray, name: str = "param"):
         self.name = name
         self.data = np.ascontiguousarray(data)
         self.grad = np.zeros_like(self.data)
+        self.many: np.ndarray | None = None
+        self.grad_many: np.ndarray | None = None
 
     @property
     def shape(self) -> tuple[int, ...]:
@@ -37,6 +44,18 @@ class Parameter:
 
     def zero_grad(self) -> None:
         self.grad.fill(0.0)
+
+    def bind_cohort(self, cohort: int) -> None:
+        """Allocate ``(cohort, *shape)`` stacked value/gradient storage."""
+        if cohort <= 0:
+            raise ValueError(f"cohort size must be positive, got {cohort}")
+        self.many = np.zeros((cohort,) + self.data.shape, dtype=self.data.dtype)
+        self.grad_many = np.zeros_like(self.many)
+
+    def zero_grad_many(self) -> None:
+        if self.grad_many is None:
+            raise RuntimeError(f"parameter {self.name!r} is not cohort-bound")
+        self.grad_many.fill(0.0)
 
     def copy_(self, value: np.ndarray) -> None:
         """In-place overwrite of the value (keeps optimizer state views valid)."""

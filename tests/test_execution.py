@@ -9,10 +9,13 @@ keyed by name, not call order.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 
 import numpy as np
 import pytest
+
+from golden import DATA_DIR, SIM_SECONDS_RTOL
 
 from repro.algorithms import build_algorithm
 from repro.core.fedclust import FedClust
@@ -20,7 +23,11 @@ from repro.data import build_federated_dataset, make_dataset
 from repro.fl.config import FLConfig
 from repro.fl.execution import (
     BACKENDS,
+    VECTOR_ACC_ATOL,
+    VECTOR_LOSS_RTOL,
+    VECTOR_PARAM_RTOL,
     ClientSlots,
+    CohortRunner,
     ProcessBackend,
     SerialBackend,
     ThreadBackend,
@@ -130,11 +137,12 @@ class TestRoundTiming:
 
 class TestBackendPlumbing:
     def test_registry_and_factory(self):
-        assert set(BACKENDS) == {"serial", "thread", "process"}
+        assert set(BACKENDS) == {"serial", "thread", "process", "vector"}
         assert isinstance(make_backend(backend="serial"), SerialBackend)
         assert isinstance(make_backend(backend="thread", workers=2), ThreadBackend)
         b = make_backend(backend="process", workers=5)
         assert isinstance(b, ProcessBackend) and b.workers == 5
+        assert isinstance(make_backend(backend="vector"), CohortRunner)
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="unknown execution backend"):
@@ -293,6 +301,135 @@ class TestCliEnvHygiene:
                      "--backend", "thread", "--workers", "2"]) == 0
         assert "REPRO_BACKEND" not in os.environ
         assert "REPRO_WORKERS" not in os.environ
+
+
+class TestVectorBackendEquivalence:
+    """The opt-in ``vector`` backend stacks same-shape client models into
+    one cohort tensor and runs batched kernels; histories must stay within
+    the pinned tolerances (``VECTOR_*`` in ``repro.fl.execution``) across
+    algorithm families, with byte metering exact.  Families whose client
+    hooks are overridden (ifca, scaffold) serial-fallback by design and
+    come out bit-for-bit."""
+
+    @pytest.mark.parametrize("method,extra", [
+        ("fedavg", {}),
+        ("fedprox", {}),
+        ("local", {}),
+        ("scaffold", {}),
+        ("fedclust", {"lam": "auto"}),
+        ("ifca", {"num_clusters": 2}),
+    ])
+    def test_within_pinned_tolerance_vs_serial(self, fed, method, extra):
+        hs, algo_s = run_one(fed, method, "serial", 0, **extra)
+        hv, algo_v = run_one(fed, method, "vector", 0, **extra)
+        np.testing.assert_allclose(
+            hv.accuracies, hs.accuracies, atol=VECTOR_ACC_ATOL
+        )
+        np.testing.assert_allclose(hv.losses, hs.losses, rtol=VECTOR_LOSS_RTOL)
+        # the wire path is outside the batched compute: metering is exact
+        np.testing.assert_array_equal(hv.cumulative_mb, hs.cumulative_mb)
+        for cid in range(fed.num_clients):
+            np.testing.assert_allclose(
+                algo_v.eval_params_for_client(cid),
+                algo_s.eval_params_for_client(cid),
+                rtol=VECTOR_PARAM_RTOL, atol=1e-8,
+            )
+
+    def test_batched_kernels_actually_run(self, fed, monkeypatch):
+        """Guard against silent serial fallback: the default recipe must
+        go through the fused cohort trainer, not the per-client loop."""
+        import repro.fl.execution as exec_mod
+
+        calls = {"train": 0}
+        real = exec_mod.local_sgd_many
+
+        def counting(*args, **kwargs):
+            calls["train"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(exec_mod, "local_sgd_many", counting)
+        run_one(fed, "fedavg", "vector", 0)
+        assert calls["train"] > 0
+
+    def test_stateful_rng_model_serial_fallback_bitwise(self, fed):
+        """Models with layer-owned RNG state (Dropout) cannot be batched
+        without reordering draws; the CohortRunner must produce the serial
+        backend's exact history for them."""
+        from repro.nn.layers import Dense, Dropout, Flatten, ReLU
+        from repro.nn.model import Sequential
+        from repro.utils.rng import as_generator
+
+        def model_fn(rng):
+            rng = as_generator(rng)
+            d = int(np.prod(fed.input_shape))
+            return Sequential(
+                Flatten(),
+                Dense(d, 8, rng, np.float32, name="fc1"),
+                ReLU(),
+                Dropout(0.5, rng),
+                Dense(8, fed.num_classes, rng, np.float32, name="head",
+                      classifier_head=True),
+            )
+
+        def run(backend):
+            cfg = FLConfig(rounds=2, sample_rate=1.0, local_epochs=1,
+                           lr=0.05, backend=backend)
+            algo = build_algorithm("fedavg", fed, model_fn, cfg, seed=0)
+            return algo.run()
+
+        hs, hv = run("serial"), run("vector")
+        np.testing.assert_array_equal(hs.accuracies, hv.accuracies)
+        np.testing.assert_array_equal(hs.losses, hv.losses)
+
+
+class TestVectorGoldenTolerance:
+    """Acceptance pin: vector histories match the committed *serial*
+    goldens (tests/data/golden_registry.json) within the documented
+    tolerance — accuracy at ``VECTOR_ACC_ATOL``, train loss at
+    ``VECTOR_LOSS_RTOL``, byte counters and extras exact, ``sim_seconds``
+    at the golden rtol."""
+
+    #: golden cases whose client recipe the CohortRunner batches; hook-
+    #: overridden or non-serial-backend cases are exercised bit-for-bit
+    #: by the fallback tests above
+    CASES = [
+        "fedavg-default",
+        "fedclust-default",
+        "fedavg-int8-hetero",
+        "fedclust-dirichlet",
+    ]
+
+    @pytest.mark.parametrize("case", CASES)
+    def test_vector_matches_pinned_serial_golden(self, case):
+        from test_registry import TestGoldenEquivalence as G
+
+        method, cfg_kw, extra, *rest = G.CASES[case]
+        fed = G._fed(rest[0] if rest else "label_skew")
+        cfg = FLConfig(
+            rounds=3, sample_rate=0.6, local_epochs=1, batch_size=10,
+            lr=0.05, eval_every=1, backend="vector", **cfg_kw
+        ).with_extra(**extra)
+        algo = build_algorithm(method, fed, model_fn_for(fed), cfg, seed=0)
+        history = algo.run()
+
+        golden = json.loads(
+            (DATA_DIR / "golden_registry.json").read_text()
+        )[case]
+        d = history.as_dict()
+        np.testing.assert_allclose(
+            d["accuracy"], golden["accuracy"], atol=VECTOR_ACC_ATOL
+        )
+        np.testing.assert_allclose(
+            d["train_loss"], golden["train_loss"], rtol=VECTOR_LOSS_RTOL
+        )
+        for key in ("cumulative_mb", "upload_bytes", "download_bytes",
+                    "extras"):
+            assert d[key] == golden[key], (
+                f"{case}.{key} diverged from the serial golden"
+            )
+        np.testing.assert_allclose(
+            d["sim_seconds"], golden["sim_seconds"], rtol=SIM_SECONDS_RTOL
+        )
 
 
 class TestRunGuards:
